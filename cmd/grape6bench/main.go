@@ -1,0 +1,86 @@
+// Command grape6bench regenerates the paper's tables and figures. Each
+// experiment id matches DESIGN.md's index:
+//
+//	grape6bench -exp f13          # Figure 13: single-node speed vs N
+//	grape6bench -exp all          # everything
+//	grape6bench -exp f19 -quick   # fast, low-fidelity pass
+//
+// Output is a text rendition of each figure: one labelled series per
+// curve, with the paper's reported result quoted alongside.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"grape6/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment id (t1, f13..f19, t5ab, t5c, cosim, a1..a5, all)")
+		quick = flag.Bool("quick", false, "reduced-fidelity fast mode")
+		seed  = flag.Uint64("seed", 20031115, "random seed for workload sampling")
+	)
+	flag.Parse()
+
+	opts := bench.DefaultOptions()
+	if *quick {
+		opts = bench.QuickOptions()
+	}
+	opts.Seed = *seed
+
+	runners := map[string]func() (bench.Experiment, error){
+		"t1":    func() (bench.Experiment, error) { return bench.RunT1(), nil },
+		"f13":   func() (bench.Experiment, error) { return bench.RunF13(opts) },
+		"f14":   func() (bench.Experiment, error) { return bench.RunF14(opts) },
+		"f15":   func() (bench.Experiment, error) { return bench.RunF15(opts) },
+		"f16":   func() (bench.Experiment, error) { return bench.RunF16(opts) },
+		"f17":   func() (bench.Experiment, error) { return bench.RunF17(opts) },
+		"f18":   func() (bench.Experiment, error) { return bench.RunF18(opts) },
+		"f19":   func() (bench.Experiment, error) { return bench.RunF19(opts) },
+		"t5ab":  func() (bench.Experiment, error) { return bench.RunApplications(opts) },
+		"t5c":   func() (bench.Experiment, error) { return bench.RunTreecode(opts) },
+		"cosim": func() (bench.Experiment, error) { return bench.RunCosim(opts) },
+		"a1":    func() (bench.Experiment, error) { return bench.RunAblationMantissa(opts) },
+		"a2":    func() (bench.Experiment, error) { return bench.RunAblationAccumulator(opts) },
+		"a3":    func() (bench.Experiment, error) { return bench.RunAblationVMP(opts) },
+		"a4":    func() (bench.Experiment, error) { return bench.RunAblationMyrinet(opts) },
+		"a5":    func() (bench.Experiment, error) { return bench.RunAblationHostGrid(opts) },
+		"a6":    func() (bench.Experiment, error) { return bench.RunAblationGrape4(opts) },
+		"a7":    func() (bench.Experiment, error) { return bench.RunAblationNeighbourScheme(opts) },
+		"v1":    func() (bench.Experiment, error) { return bench.RunValidation(opts) },
+	}
+
+	// Aliases from DESIGN.md's index.
+	runners["kuiper"] = runners["t5ab"]
+	runners["bhbinary"] = runners["t5ab"]
+	runners["treecmp"] = runners["t5c"]
+
+	if *exp == "all" {
+		es, err := bench.All(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grape6bench: %v\n", err)
+			os.Exit(1)
+		}
+		for _, e := range es {
+			e.Format(os.Stdout)
+		}
+		return
+	}
+
+	run, ok := runners[strings.ToLower(*exp)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "grape6bench: unknown experiment %q\n", *exp)
+		fmt.Fprintf(os.Stderr, "known: t1 f13 f14 f15 f16 f17 f18 f19 t5ab t5c cosim a1 a2 a3 a4 a5 a6 a7 v1 all\n")
+		os.Exit(2)
+	}
+	e, err := run()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "grape6bench: %v\n", err)
+		os.Exit(1)
+	}
+	e.Format(os.Stdout)
+}

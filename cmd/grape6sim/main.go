@@ -1,0 +1,152 @@
+// Command grape6sim integrates an N-body system on the reproduction's
+// GRAPE-6 stack, reporting conservation diagnostics and performance
+// accounting as the run progresses:
+//
+//	grape6sim -n 1024 -t 1 -model plummer -backend grape
+//	grape6sim -n 4096 -t 0.5 -model disk -backend direct -checkpoint out.g6
+//	grape6sim -restore out.g6 -t 1.0
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"grape6/internal/binaries"
+	"grape6/internal/core"
+	"grape6/internal/diag"
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 1024, "particle count")
+		modelName = flag.String("model", "plummer", "initial model: plummer, king, disk, bhbinary, coldsphere")
+		kingW0    = flag.Float64("w0", 6, "King model central potential (model=king)")
+		trackBin  = flag.Bool("binaries", false, "report hard binaries at each diagnostic interval")
+		backend   = flag.String("backend", "direct", "force backend: direct or grape")
+		softening = flag.String("softening", "const", "softening: const (1/64), ncbrt (1/[8(2N)^1/3]), overn (4/N)")
+		tEnd      = flag.Float64("t", 1.0, "integration end time (Heggie units)")
+		eta       = flag.Float64("eta", 0, "Aarseth accuracy parameter (0 = default 0.02)")
+		seed      = flag.Uint64("seed", 1, "initial-condition seed")
+		report    = flag.Float64("report", 0.25, "diagnostic report interval")
+		check     = flag.String("checkpoint", "", "write a checkpoint here at the end")
+		restore   = flag.String("restore", "", "restore from this checkpoint instead of sampling")
+	)
+	flag.Parse()
+
+	kind := units.SoftConstant
+	switch *softening {
+	case "const":
+	case "ncbrt":
+		kind = units.SoftNDependent
+	case "overn":
+		kind = units.SoftOverN
+	default:
+		fatal("unknown softening %q", *softening)
+	}
+
+	var bk core.BackendKind
+	switch *backend {
+	case "direct":
+		bk = core.Direct
+	case "grape":
+		bk = core.Grape
+	default:
+		fatal("unknown backend %q", *backend)
+	}
+
+	var sim *core.Simulator
+	var eps float64
+	if *restore != "" {
+		f, err := os.Open(*restore)
+		if err != nil {
+			fatal("%v", err)
+		}
+		sim, err = core.Restore(f, core.Config{Backend: bk, Eta: *eta})
+		f.Close()
+		if err != nil {
+			fatal("restore: %v", err)
+		}
+		fmt.Printf("restored N=%d at t=%.6g\n", sim.System().N, sim.Time())
+	} else {
+		rng := xrand.New(*seed)
+		var sys *nbody.System
+		switch *modelName {
+		case "plummer":
+			sys = model.Plummer(*n, rng)
+		case "king":
+			var err error
+			sys, err = model.King(*n, *kingW0, rng)
+			if err != nil {
+				fatal("%v", err)
+			}
+		case "disk":
+			sys = model.Disk(model.DefaultKuiperDisk(*n), rng)
+		case "bhbinary":
+			sys = model.PlummerWithBlackHoles(*n, 0.005, 0.3, rng)
+		case "coldsphere":
+			sys = model.ColdSphere(*n, 1.5, rng)
+		default:
+			fatal("unknown model %q", *modelName)
+		}
+		eps = units.Softening(kind, sys.N)
+		var err error
+		sim, err = core.NewSimulator(sys, core.Config{Backend: bk, Eps: eps, Eta: *eta})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("model=%s N=%d backend=%s eps=%.6g eta=%g\n",
+			*modelName, sys.N, bk, eps, *eta)
+	}
+
+	cons := diag.NewConservation(sim.Synchronized(), eps)
+	next := sim.Time() + *report
+	for sim.Time() < *tEnd {
+		stop := next
+		if stop > *tEnd {
+			stop = *tEnd
+		}
+		sim.Run(stop)
+		snap := sim.Synchronized()
+		dE, dL, _ := cons.Drift(snap, eps)
+		e := diag.Measure(snap, eps)
+		fmt.Printf("t=%-8.5g steps=%-10d blocks=%-8d E=%.8g dE/E=%.3g |dL|=%.3g virial=%.4g flops=%.4g\n",
+			sim.Time(), sim.Steps(), sim.Blocks(), e.Total(), dE, dL, e.Virial, sim.Flops())
+		if *trackBin {
+			for _, b := range binaries.Detect(snap, 0.1) {
+				if b.Hard() {
+					fmt.Printf("  hard binary (%d,%d): a=%.5g e=%.3f hardness=%.1f\n",
+						b.I, b.J, b.SemiMajor, b.Ecc, b.Hardness)
+				}
+			}
+		}
+		next += *report
+	}
+
+	if bk == core.Grape {
+		fmt.Printf("emulated hardware cycles: %d\n", sim.HardwareCycles())
+	}
+
+	if *check != "" {
+		f, err := os.Create(*check)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := sim.Checkpoint(f); err != nil {
+			fatal("checkpoint: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("checkpoint: %v", err)
+		}
+		fmt.Printf("checkpoint written to %s\n", *check)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "grape6sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Black-hole-binary example: a scaled-down version of the paper's second
+// production application (Section 5) — two massive "black hole" particles
+// (0.5% of the system mass each) embedded in a Plummer model. The paper
+// integrated 2M particles for 36 time units (37.19 hours, 35.3 Tflops);
+// here we follow the binary's orbital decay in a laptop-sized cluster and
+// reproduce the paper-scale accounting with the machine model.
+//
+//	go run ./examples/blackholebinary
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"grape6/internal/binaries"
+	"grape6/internal/core"
+	"grape6/internal/model"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/timing"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+func main() {
+	const n = 512
+	sys := model.PlummerWithBlackHoles(n, 0.005, 0.3, xrand.New(11))
+	bh1, bh2 := n, n+1 // the two massive particles
+
+	sim, err := core.NewSimulator(sys, core.Config{
+		Backend: core.Direct,
+		Eps:     units.Softening(units.SoftConstant, n),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e0 := sim.Energy()
+	fmt.Printf("N=%d field + 2 BHs (m=%.3g each), initial separation %.3g\n",
+		n, sys.Mass[bh1], sys.Pos[bh1].Dist(sys.Pos[bh2]))
+
+	for _, t := range []float64{0.5, 1.0, 1.5, 2.0} {
+		sim.Run(t)
+		snap := sim.Synchronized()
+		sep := snap.Pos[bh1].Dist(snap.Pos[bh2])
+		if b, bound := binaries.Track(snap, bh1, bh2); bound {
+			fmt.Printf("t=%.2f  sep=%.4f  BOUND: a=%.4f e=%.3f hardness=%.1f  steps=%-9d |dE/E|=%.2e\n",
+				sim.Time(), sep, b.SemiMajor, b.Ecc, b.Hardness, sim.Steps(), rel(sim.Energy(), e0))
+		} else {
+			fmt.Printf("t=%.2f  sep=%.4f  unbound pair              steps=%-9d |dE/E|=%.2e\n",
+				sim.Time(), sep, sim.Steps(), rel(sim.Energy(), e0))
+		}
+	}
+	fmt.Println("\nthe pair sinks by dynamical friction and hardens (Heggie's law)")
+	fmt.Println("— the physics whose N-dependence motivated the 2M-particle run")
+
+	fmt.Println("\npaper-scale accounting (model):")
+	m := perfmodel.MultiCluster(4, simnet.Intel82540EM, perfmodel.P4)
+	rep := timing.EstimateApplication(m, timing.BHBinary)
+	fmt.Printf("  2M particles, 4.143e10 steps → %.1f hours at %.1f Tflops\n",
+		rep.Hours(), rep.Tflops)
+	fmt.Printf("  paper reports: 37.19 hours at 35.3 Tflops\n")
+}
+
+func rel(a, b float64) float64 {
+	d := (a - b) / b
+	if d < 0 {
+		return -d
+	}
+	return d
+}

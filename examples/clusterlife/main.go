@@ -1,0 +1,77 @@
+// Cluster-evolution example: the collisional-dynamics use case that
+// motivates the whole GRAPE program (Section 1) — a star cluster followed
+// over many crossing times, with the structural diagnostics the frontend
+// hosts compute on the fly (Lagrangian radii, core radius) and a
+// checkpoint/restart in the middle, as production runs do.
+//
+//	go run ./examples/clusterlife
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"math"
+
+	"grape6/internal/core"
+	"grape6/internal/diag"
+	"grape6/internal/model"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+func main() {
+	const n = 512
+	eps := units.Softening(units.SoftNDependent, n)
+	sys := model.Plummer(n, xrand.New(2003))
+
+	sim, err := core.NewSimulator(sys, core.Config{Backend: core.Direct, Eps: eps})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("N=%d cluster, eps=%.4g, relaxation time ≈ %.1f Heggie units\n",
+		n, eps, units.RelaxationTime(n))
+	fmt.Printf("%-6s %-10s %-9s %-9s %-9s %-9s %-10s\n",
+		"t", "steps", "r10%", "r50%", "r90%", "r_core", "|dE/E|")
+
+	e0 := sim.Energy()
+	report := func() {
+		snap := sim.Synchronized()
+		rs, err := diag.LagrangianRadii(snap, []float64{0.1, 0.5, 0.9})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-6.2f %-10d %-9.4f %-9.4f %-9.4f %-9.4f %-10.2e\n",
+			sim.Time(), sim.Steps(), rs[0], rs[1], rs[2],
+			diag.CoreRadius(snap), math.Abs((sim.Energy()-e0)/e0))
+	}
+
+	report()
+	for t := 0.5; t <= 2.0; t += 0.5 {
+		sim.Run(t)
+		report()
+	}
+
+	// Mid-run checkpoint and restart — the mechanism behind the paper's
+	// "including file operations" accounting.
+	var ckpt bytes.Buffer
+	if err := sim.Checkpoint(&ckpt); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncheckpoint at t=%.2f: %d bytes\n", sim.Time(), ckpt.Len())
+
+	sim2, err := core.Restore(&ckpt, core.Config{Backend: core.Direct})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restarted; continuing to t=3\n")
+	sim = sim2
+	for t := 2.5; t <= 3.0; t += 0.5 {
+		sim.Run(t)
+		report()
+	}
+	fmt.Println("\nthe half-mass radius stays near the Plummer value while the")
+	fmt.Println("core fluctuates — two-body relaxation needs many more crossing")
+	fmt.Println("times (t_rh grows ∝ N/log N: the paper's cost argument)")
+}

@@ -1,0 +1,3 @@
+module grape6
+
+go 1.22

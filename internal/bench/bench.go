@@ -1,0 +1,152 @@
+// Package bench is the experiment harness: one runner per table and
+// figure of the paper's evaluation (see DESIGN.md's experiment index).
+// Each runner produces an Experiment — labelled series of (N, value)
+// points plus the paper's reference numbers — that cmd/grape6bench prints
+// and bench_test.go wraps as Go benchmarks.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"grape6/internal/sched"
+	"grape6/internal/units"
+)
+
+// Point is one datum of a series.
+type Point struct {
+	N     int     // particle count (or other x value)
+	Value float64 // y value (units depend on the experiment)
+}
+
+// Series is one labelled curve.
+type Series struct {
+	Label  string
+	YUnits string
+	Points []Point
+}
+
+// Experiment is a reproduced table or figure.
+type Experiment struct {
+	ID     string // experiment id from DESIGN.md: "t1", "f13", ...
+	Title  string
+	Paper  string // the paper's reported result, for side-by-side reading
+	Series []Series
+	Notes  []string
+}
+
+// Options tunes the harness cost.
+type Options struct {
+	// Quick shrinks the measured workloads so the whole suite runs in
+	// seconds (used by unit tests and -bench smoke runs).
+	Quick bool
+	// Seed makes the stochastic parts reproducible.
+	Seed uint64
+
+	// workload cache, keyed by softening kind.
+	workloads map[units.SofteningKind]*sched.Workload
+}
+
+// DefaultOptions returns the full-fidelity configuration.
+func DefaultOptions() *Options {
+	return &Options{Seed: 20031115} // the paper's conference date
+}
+
+// QuickOptions returns the fast configuration for tests.
+func QuickOptions() *Options {
+	return &Options{Quick: true, Seed: 20031115}
+}
+
+// measureNs returns the particle counts used for functional workload
+// measurement.
+func (o *Options) measureNs() []int {
+	if o.Quick {
+		// The block-statistics fit needs at least a decade of N above the
+		// tiny-N regime, or the extrapolated mean block size comes out far
+		// too flat (the paper's nb ∝ N behaviour emerges above N ≈ 256).
+		return []int{256, 512, 1024}
+	}
+	return sched.DefaultNs
+}
+
+// measureDuration returns the simulated time per workload measurement.
+func (o *Options) measureDuration() float64 {
+	if o.Quick {
+		return 0.25
+	}
+	return 0.5
+}
+
+// curveNs returns the N grid for model-driven curves.
+func (o *Options) curveNs() []int {
+	if o.Quick {
+		return []int{1000, 3000, 10000, 30000, 100000, 300000, 1000000}
+	}
+	return []int{
+		500, 1000, 2000, 3000, 5000, 10000, 20000, 30000, 50000,
+		100000, 200000, 300000, 500000, 1000000, 1800000,
+	}
+}
+
+// Workload returns (building and caching on first use) the fitted block
+// statistics for a softening choice.
+func (o *Options) Workload(kind units.SofteningKind) (*sched.Workload, error) {
+	if o.workloads == nil {
+		o.workloads = make(map[units.SofteningKind]*sched.Workload)
+	}
+	if w, ok := o.workloads[kind]; ok {
+		return w, nil
+	}
+	w, err := sched.FitWorkload(kind, o.measureNs(), o.measureDuration(), o.Seed)
+	if err != nil {
+		return nil, err
+	}
+	o.workloads[kind] = w
+	return w, nil
+}
+
+// Format renders the experiment as an aligned text report.
+func (e Experiment) Format(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", e.ID, e.Title)
+	if e.Paper != "" {
+		fmt.Fprintf(w, "paper: %s\n", e.Paper)
+	}
+	for _, s := range e.Series {
+		fmt.Fprintf(w, "\n-- %s", s.Label)
+		if s.YUnits != "" {
+			fmt.Fprintf(w, " [%s]", s.YUnits)
+		}
+		fmt.Fprintln(w)
+		pts := append([]Point(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].N < pts[j].N })
+		for _, p := range pts {
+			fmt.Fprintf(w, "  N=%-9d %.6g\n", p.N, p.Value)
+		}
+	}
+	for _, n := range e.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// FindSeries returns the series with the given label, or nil.
+func (e Experiment) FindSeries(label string) *Series {
+	for i := range e.Series {
+		if e.Series[i].Label == label {
+			return &e.Series[i]
+		}
+	}
+	return nil
+}
+
+// ValueAt returns the value at the given N of a series, and whether it
+// exists.
+func (s *Series) ValueAt(n int) (float64, bool) {
+	for _, p := range s.Points {
+		if p.N == n {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}

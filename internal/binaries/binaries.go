@@ -1,0 +1,152 @@
+// Package binaries detects and classifies bound pairs in an N-body system
+// — the on-the-fly analysis behind the paper's second application (the
+// black-hole binary run of Section 5): as the two massive particles sink
+// and bind, production codes track the pair's orbital elements and
+// hardness every few blocks.
+//
+// A pair is "hard" when its binding energy exceeds the mean kinetic energy
+// of the field stars (Heggie's law: hard binaries harden, soft binaries
+// soften), which is the quantity that decides whether the binary keeps
+// shrinking — the physics question the paper's 2M-particle run addressed.
+package binaries
+
+import (
+	"math"
+	"sort"
+
+	"grape6/internal/kepler"
+	"grape6/internal/nbody"
+)
+
+// Binary is a detected bound pair.
+type Binary struct {
+	I, J      int     // particle indices (I < J)
+	SemiMajor float64 // semi-major axis of the relative orbit
+	Ecc       float64 // eccentricity
+	Ebind     float64 // binding energy: -E_orb = G m_i m_j / (2a) > 0
+	Hardness  float64 // Ebind / <m v²/2> of the field
+}
+
+// Hard reports whether the pair is hard (hardness > 1).
+func (b Binary) Hard() bool { return b.Hardness > 1 }
+
+// meanKinetic returns the mean kinetic energy per particle.
+func meanKinetic(sys *nbody.System) float64 {
+	if sys.N == 0 {
+		return 0
+	}
+	return sys.KineticEnergy() / float64(sys.N)
+}
+
+// pairOrbit computes the two-body orbital energy and, when bound, the
+// elements of the relative orbit.
+func pairOrbit(sys *nbody.System, i, j int) (eOrb, a, ecc float64, bound bool) {
+	mi, mj := sys.Mass[i], sys.Mass[j]
+	mu := mi + mj
+	rel := sys.Pos[j].Sub(sys.Pos[i])
+	vel := sys.Vel[j].Sub(sys.Vel[i])
+	r := rel.Norm()
+	if r == 0 {
+		return 0, 0, 0, false
+	}
+	// Specific orbital energy of the relative problem.
+	eSpec := vel.Norm2()/2 - mu/r
+	if eSpec >= 0 {
+		return eSpec, 0, 0, false
+	}
+	a = -mu / (2 * eSpec)
+	// Eccentricity from angular momentum: e² = 1 + 2 e_spec h²/μ².
+	h := rel.Cross(vel).Norm()
+	e2 := 1 + 2*eSpec*h*h/(mu*mu)
+	if e2 < 0 {
+		e2 = 0
+	}
+	ecc = math.Sqrt(e2)
+	// Binding energy of the pair (not specific): G mi mj / 2a.
+	eOrb = mi * mj / (2 * a)
+	return eOrb, a, ecc, true
+}
+
+// Detect finds bound pairs whose semi-major axis is below aMax, using a
+// mutual-nearest-neighbour candidate search (O(N²) distance scan — the
+// production codes use the GRAPE's hardware nearest-neighbour output for
+// this; see chip.Partial.NN). Pairs are returned sorted by binding energy,
+// hardest first.
+func Detect(sys *nbody.System, aMax float64) []Binary {
+	n := sys.N
+	if n < 2 {
+		return nil
+	}
+	// Nearest neighbour of each particle.
+	nn := make([]int, n)
+	for i := 0; i < n; i++ {
+		best, bestD2 := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if j == i {
+				continue
+			}
+			if d2 := sys.Pos[i].Dist2(sys.Pos[j]); d2 < bestD2 {
+				best, bestD2 = j, d2
+			}
+		}
+		nn[i] = best
+	}
+
+	ekin := meanKinetic(sys)
+	var out []Binary
+	for i := 0; i < n; i++ {
+		j := nn[i]
+		if j <= i || nn[j] != i {
+			continue // not mutual, or already handled
+		}
+		eb, a, ecc, bound := pairOrbit(sys, i, j)
+		if !bound || a > aMax {
+			continue
+		}
+		b := Binary{I: i, J: j, SemiMajor: a, Ecc: ecc, Ebind: eb}
+		if ekin > 0 {
+			b.Hardness = eb / ekin
+		}
+		out = append(out, b)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Ebind > out[b].Ebind })
+	return out
+}
+
+// Track computes the orbital elements of one specific pair (e.g. the two
+// black holes of the Section 5 run) regardless of neighbour structure.
+// The bool reports whether the pair is currently bound.
+func Track(sys *nbody.System, i, j int) (Binary, bool) {
+	eb, a, ecc, bound := pairOrbit(sys, i, j)
+	if !bound {
+		return Binary{I: min(i, j), J: max(i, j)}, false
+	}
+	b := Binary{I: min(i, j), J: max(i, j), SemiMajor: a, Ecc: ecc, Ebind: eb}
+	if ekin := meanKinetic(sys); ekin > 0 {
+		b.Hardness = eb / ekin
+	}
+	return b, true
+}
+
+// Elements returns the full Kepler elements of a bound, planar pair (for
+// pairs orbiting in the xy plane, e.g. the constructed test binaries).
+func Elements(sys *nbody.System, i, j int, t float64) (kepler.Elements, error) {
+	mu := sys.Mass[i] + sys.Mass[j]
+	rel := sys.Pos[j].Sub(sys.Pos[i])
+	vel := sys.Vel[j].Sub(sys.Vel[i])
+	return kepler.FromState(mu, rel, vel, t)
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

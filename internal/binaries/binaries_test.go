@@ -1,0 +1,151 @@
+package binaries
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+// plummerWithBinary embeds a tight equal-mass pair in a Plummer field.
+func plummerWithBinary(n int, a float64, seed uint64) (*nbody.System, int, int) {
+	field := model.Plummer(n, xrand.New(seed))
+	sys := nbody.New(n + 2)
+	copy(sys.Mass, field.Mass)
+	copy(sys.Pos, field.Pos)
+	copy(sys.Vel, field.Vel)
+	// Pair of mass 0.02 each on a circular orbit at the origin.
+	m := 0.02
+	// Relative circular speed √(μ/a) with μ = 2m, split evenly.
+	v := math.Sqrt(2*m/a) / 2
+	sys.Mass[n], sys.Mass[n+1] = m, m
+	sys.Pos[n] = vec.New(a/2, 0, 0)
+	sys.Pos[n+1] = vec.New(-a/2, 0, 0)
+	sys.Vel[n] = vec.New(0, v, 0)
+	sys.Vel[n+1] = vec.New(0, -v, 0)
+	return sys, n, n + 1
+}
+
+func TestTrackBoundPair(t *testing.T) {
+	sys, i, j := plummerWithBinary(100, 0.01, 1)
+	b, bound := Track(sys, i, j)
+	if !bound {
+		t.Fatal("constructed binary not bound")
+	}
+	if math.Abs(b.SemiMajor-0.01) > 2e-3 {
+		t.Errorf("semi-major = %v, want ≈0.01", b.SemiMajor)
+	}
+	if b.Ecc > 0.2 {
+		t.Errorf("eccentricity = %v for circular construction", b.Ecc)
+	}
+	if !b.Hard() {
+		t.Errorf("tight massive pair not classified hard: hardness=%v", b.Hardness)
+	}
+}
+
+func TestTrackUnboundPair(t *testing.T) {
+	sys := nbody.New(2)
+	sys.Mass[0], sys.Mass[1] = 0.5, 0.5
+	sys.Pos[1] = vec.New(1, 0, 0)
+	sys.Vel[1] = vec.New(5, 0, 0) // well above escape speed
+	if _, bound := Track(sys, 0, 1); bound {
+		t.Error("unbound pair reported bound")
+	}
+}
+
+func TestDetectFindsEmbeddedBinary(t *testing.T) {
+	sys, i, j := plummerWithBinary(200, 0.005, 2)
+	bs := Detect(sys, 0.05)
+	found := false
+	for _, b := range bs {
+		if b.I == i && b.J == j {
+			found = true
+			if !b.Hard() {
+				t.Error("embedded binary not hard")
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("embedded binary not detected; %d pairs found", len(bs))
+	}
+	// Hardest first.
+	for k := 1; k < len(bs); k++ {
+		if bs[k].Ebind > bs[k-1].Ebind {
+			t.Error("binaries not sorted by binding energy")
+		}
+	}
+}
+
+func TestDetectRespectsAMax(t *testing.T) {
+	sys, _, _ := plummerWithBinary(100, 0.02, 3)
+	for _, b := range Detect(sys, 0.001) {
+		if b.SemiMajor > 0.001 {
+			t.Errorf("pair with a=%v exceeds aMax", b.SemiMajor)
+		}
+	}
+}
+
+func TestDetectSmallSystems(t *testing.T) {
+	if Detect(nbody.New(0), 1) != nil {
+		t.Error("empty system returned pairs")
+	}
+	if Detect(nbody.New(1), 1) != nil {
+		t.Error("single particle returned pairs")
+	}
+}
+
+func TestElementsMatchesKnownOrbit(t *testing.T) {
+	sys := model.TwoBodyEccentric(0.5, 0.5, 1.0, 0.3)
+	el, err := Elements(sys, 0, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el.A-1.0) > 1e-12 || math.Abs(el.Ecc-0.3) > 1e-12 {
+		t.Errorf("elements a=%v e=%v", el.A, el.Ecc)
+	}
+}
+
+func TestHardBinarySurvivesIntegration(t *testing.T) {
+	// Heggie's law, functionally: a hard binary integrated within its
+	// cluster stays bound and does not soften appreciably over a short
+	// run. This is exactly the paper's BH-binary phenomenology.
+	sys, i, j := plummerWithBinary(64, 0.02, 4)
+	b0, bound := Track(sys, i, j)
+	if !bound {
+		t.Fatal("initial pair unbound")
+	}
+	p := hermite.DefaultParams(1e-4)
+	it, err := hermite.New(sys, hermite.NewDirectBackend(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(0.0625)
+	snap := it.Synchronize(it.T)
+	b1, bound := Track(snap, i, j)
+	if !bound {
+		t.Fatal("binary disrupted during integration")
+	}
+	if b1.Ebind < 0.5*b0.Ebind {
+		t.Errorf("hard binary softened from %v to %v", b0.Ebind, b1.Ebind)
+	}
+}
+
+func TestFieldPlummerHasFewHardBinaries(t *testing.T) {
+	// A freshly sampled Plummer model contains no deliberately planted
+	// binaries; any detected chance pairs should be overwhelmingly soft.
+	sys := model.Plummer(500, xrand.New(5))
+	bs := Detect(sys, 0.5)
+	hard := 0
+	for _, b := range bs {
+		if b.Hard() {
+			hard++
+		}
+	}
+	if hard > 3 {
+		t.Errorf("%d hard binaries in a fresh Plummer sample (chance pairs should be soft)", hard)
+	}
+}

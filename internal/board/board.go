@@ -1,0 +1,216 @@
+// Package board emulates the GRAPE-6 packaging hierarchy above the chip
+// (Sections 2 and 3.3-3.4 of the paper): the processor module (4 chips
+// plus a block-floating-point summation FPGA), the processor board (8
+// modules behind one broadcast network and one reduction network), and the
+// multi-board attachment of up to 4 boards to a single host through a
+// network board.
+//
+// All j-particles attached to one host are distributed across the chips'
+// local memories; every pipeline calculates forces on the same i-particle
+// set, and the partial forces are summed exactly by the FPGA reduction
+// trees — so the merged result is bit-identical to a single-chip
+// evaluation of the same j-set (the Section 3.4 property).
+package board
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+
+	"grape6/internal/chip"
+)
+
+// Config describes the packaging of one host's GRAPE-6 attachment.
+type Config struct {
+	Chip            chip.Config
+	ChipsPerModule  int // paper: 4
+	ModulesPerBoard int // paper: 8
+	Boards          int // boards attached to this host (paper benchmarks: 4)
+
+	// ReduceCyclesPerStage is the pipeline latency added per level of the
+	// reduction tree (module, board, network board).
+	ReduceCyclesPerStage int
+}
+
+// Default is a single host's production attachment: 4 boards of 32 chips.
+var Default = Config{
+	Chip:                 chip.Default,
+	ChipsPerModule:       4,
+	ModulesPerBoard:      8,
+	Boards:               4,
+	ReduceCyclesPerStage: 4,
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ChipsPerModule <= 0 || c.ModulesPerBoard <= 0 || c.Boards <= 0 {
+		return fmt.Errorf("board: non-positive packaging counts %d/%d/%d",
+			c.ChipsPerModule, c.ModulesPerBoard, c.Boards)
+	}
+	if c.ReduceCyclesPerStage < 0 {
+		return fmt.Errorf("board: negative reduction latency %d", c.ReduceCyclesPerStage)
+	}
+	return c.Chip.Validate()
+}
+
+// ChipsPerBoard returns the number of chips on one board (32 in
+// production).
+func (c Config) ChipsPerBoard() int { return c.ChipsPerModule * c.ModulesPerBoard }
+
+// TotalChips returns the number of chips across all attached boards.
+func (c Config) TotalChips() int { return c.ChipsPerBoard() * c.Boards }
+
+// PeakFlops returns the attachment's peak speed under the 57-flops
+// convention. One production board is 985.0 Gflops; the paper's
+// 64-board machine totals 63.04 Tflops.
+func (c Config) PeakFlops() float64 {
+	return float64(c.TotalChips()) * c.Chip.PeakFlops()
+}
+
+// jloc locates a particle's memory image.
+type jloc struct {
+	chip int // flat chip index across all boards
+	slot int
+}
+
+// Array is the emulated multi-board attachment of one host.
+type Array struct {
+	cfg   Config
+	chips []*chip.Chip
+	loc   map[int]jloc // particle id → memory location
+	nj    int
+}
+
+// New builds the attachment. It panics on invalid configuration.
+func New(cfg Config) *Array {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	a := &Array{cfg: cfg, loc: make(map[int]jloc)}
+	a.chips = make([]*chip.Chip, cfg.TotalChips())
+	for i := range a.chips {
+		a.chips[i] = chip.New(cfg.Chip)
+	}
+	return a
+}
+
+// Config returns the attachment's configuration.
+func (a *Array) Config() Config { return a.cfg }
+
+// NJ returns the number of loaded j-particles.
+func (a *Array) NJ() int { return a.nj }
+
+// LoadJ distributes the particles across the chips' local memories in
+// round-robin order (so each chip holds ≈ N/TotalChips particles, the
+// GRAPE-6 local-memory design of Section 3.4) and records their locations
+// for later updates.
+func (a *Array) LoadJ(ps []chip.JParticle) error {
+	nc := len(a.chips)
+	buckets := make([][]chip.JParticle, nc)
+	per := (len(ps) + nc - 1) / nc
+	for i := range buckets {
+		buckets[i] = make([]chip.JParticle, 0, per)
+	}
+	clear(a.loc)
+	for i, p := range ps {
+		c := i % nc
+		a.loc[p.ID] = jloc{chip: c, slot: len(buckets[c])}
+		buckets[c] = append(buckets[c], p)
+	}
+	for c, b := range buckets {
+		if err := a.chips[c].LoadJ(b); err != nil {
+			return fmt.Errorf("board: chip %d: %w", c, err)
+		}
+	}
+	a.nj = len(ps)
+	return nil
+}
+
+// UpdateJ rewrites the memory image of an already-loaded particle.
+func (a *Array) UpdateJ(p chip.JParticle) error {
+	l, ok := a.loc[p.ID]
+	if !ok {
+		return fmt.Errorf("board: particle %d not loaded", p.ID)
+	}
+	return a.chips[l.chip].WriteJ(l.slot, p)
+}
+
+// Forces evaluates forces on the i-particles from all loaded j-particles
+// predicted to time t. It returns the merged partial results (one per
+// i-particle, bit-identical to a single-chip evaluation) and the number of
+// hardware clock cycles the attachment is busy.
+//
+// Cycle model: all chips run in lockstep on the same i-set, so the force
+// time is the maximum chip time (the chips' memory loads differ by at most
+// one particle); the reduction trees add one pipeline stage per level:
+// ceil(log2 chips/module) within the module, ceil(log2 modules) on the
+// board, and ceil(log2 boards) on the network board.
+func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
+	nc := len(a.chips)
+	partials := make([][]*chip.Partial, nc)
+	cycles := make([]int64, nc)
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > nc {
+		workers = nc
+	}
+	if workers <= 1 || len(is)*a.nj < 4096 {
+		for c := 0; c < nc; c++ {
+			partials[c], cycles[c] = a.chips[c].ForceBatch(t, is, eps)
+		}
+	} else {
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for c := range next {
+					partials[c], cycles[c] = a.chips[c].ForceBatch(t, is, eps)
+				}
+			}()
+		}
+		for c := 0; c < nc; c++ {
+			next <- c
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Reduction: exact merges, tree order irrelevant by construction.
+	out := partials[0]
+	for c := 1; c < nc; c++ {
+		for i := range out {
+			out[i].Merge(partials[c][i])
+		}
+	}
+
+	var maxCycles int64
+	for _, cy := range cycles {
+		if cy > maxCycles {
+			maxCycles = cy
+		}
+	}
+	maxCycles += a.reductionCycles()
+	return out, maxCycles
+}
+
+// reductionCycles returns the pipeline latency of the three-level
+// reduction tree.
+func (a *Array) reductionCycles() int64 {
+	stages := log2ceil(a.cfg.ChipsPerModule) + log2ceil(a.cfg.ModulesPerBoard) + log2ceil(a.cfg.Boards)
+	return int64(stages) * int64(a.cfg.ReduceCyclesPerStage)
+}
+
+func log2ceil(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return bits.Len(uint(n - 1))
+}
+
+// TimeFor converts a cycle count to seconds of hardware time.
+func (a *Array) TimeFor(cycles int64) float64 {
+	return float64(cycles) / a.cfg.Chip.ClockHz
+}

@@ -1,0 +1,330 @@
+// Package chip emulates the GRAPE-6 processor chip (Section 2.1 of the
+// paper): six force-calculation pipelines with 8-way virtual multiple
+// pipelining (VMP), an on-chip predictor pipeline, and a local j-particle
+// memory with a point-to-point interface.
+//
+// The emulation is functional and cycle-accounting rather than gate-level:
+// it reproduces the chip's arithmetic (fixed-point positions,
+// short-mantissa pipeline operations, block-floating-point accumulation)
+// so that results carry hardware-faithful rounding and the
+// partition-invariance property, and it reports the number of clock cycles
+// a batch would take so that the timing layer can reproduce the paper's
+// performance curves.
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/gfixed"
+)
+
+// Config describes one processor chip.
+type Config struct {
+	ClockHz       float64       // pipeline clock (paper: 90 MHz)
+	Pipelines     int           // force pipelines per chip (paper: 6)
+	VMP           int           // virtual multiple pipelining degree (paper: 8)
+	Format        gfixed.Format // arithmetic word lengths
+	MemCapacity   int           // j-particle memory capacity
+	PipelineDepth int           // pipeline latency in cycles
+}
+
+// Default is the production GRAPE-6 chip configuration.
+var Default = Config{
+	ClockHz:       90e6,
+	Pipelines:     6,
+	VMP:           8,
+	Format:        gfixed.Grape6,
+	MemCapacity:   65536,
+	PipelineDepth: 30,
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.ClockHz <= 0 {
+		return fmt.Errorf("chip: non-positive clock %v", c.ClockHz)
+	}
+	if c.Pipelines <= 0 || c.VMP <= 0 {
+		return fmt.Errorf("chip: pipelines=%d vmp=%d must be positive", c.Pipelines, c.VMP)
+	}
+	if c.MemCapacity <= 0 {
+		return fmt.Errorf("chip: memory capacity %d must be positive", c.MemCapacity)
+	}
+	if c.PipelineDepth < 0 {
+		return fmt.Errorf("chip: negative pipeline depth %d", c.PipelineDepth)
+	}
+	return c.Format.Validate()
+}
+
+// IBatch returns the number of i-particles served in parallel by one pass
+// of the pipelines: Pipelines × VMP (48 for the production chip).
+func (c Config) IBatch() int { return c.Pipelines * c.VMP }
+
+// PeakFlops returns the chip's peak speed under the paper's 57-flops
+// convention: 57 × Pipelines × ClockHz (30.78 Gflops for the production
+// chip, quoted as 30.8 in the paper).
+func (c Config) PeakFlops() float64 {
+	return 57 * float64(c.Pipelines) * c.ClockHz
+}
+
+// JParticle is a j-particle as stored in chip memory: position in fixed
+// point, everything else in the pipeline float format, plus the particle's
+// own time for the predictor.
+type JParticle struct {
+	ID   int // global particle id (reported for nearest neighbours)
+	T0   float64
+	Mass float64
+	X    [3]gfixed.Fixed64
+	V    [3]float64
+	A    [3]float64
+	J    [3]float64
+	S    [3]float64 // second force derivative, eq. (6)'s a⁽²⁾ term
+}
+
+// IParticle is an i-particle as broadcast to the pipelines: predicted
+// position in fixed point, predicted velocity in pipeline floats, and the
+// block exponents chosen by the host for the three result groups. SelfID
+// is the particle's global id, used by the nearest-neighbour unit to
+// exclude the self-pair.
+type IParticle struct {
+	X       [3]gfixed.Fixed64
+	V       [3]float64
+	SelfID  int
+	ExpAcc  int
+	ExpJerk int
+	ExpPot  int
+}
+
+// Partial is the block-floating-point partial result for one i-particle,
+// as produced by one chip and merged exactly by the FPGA reduction trees.
+type Partial struct {
+	Acc  [3]*gfixed.Accum
+	Jerk [3]*gfixed.Accum
+	Pot  *gfixed.Accum
+	NN   int     // global id of nearest neighbour seen so far (-1 if none)
+	NND2 float64 // softened squared distance to it
+}
+
+// NewPartial allocates a zeroed partial result with the given exponents.
+func NewPartial(f gfixed.Format, expAcc, expJerk, expPot int) *Partial {
+	p := &Partial{NN: -1, NND2: math.Inf(1)}
+	for c := 0; c < 3; c++ {
+		p.Acc[c] = f.NewAccum(expAcc)
+		p.Jerk[c] = f.NewAccum(expJerk)
+	}
+	p.Pot = f.NewAccum(expPot)
+	return p
+}
+
+// Merge folds another chip's partial result into p (exact integer adds;
+// this is the FPGA adder of Section 3.4). Nearest-neighbour candidates are
+// compared by distance with ties broken toward the smaller id, which keeps
+// the merge deterministic regardless of tree shape.
+func (p *Partial) Merge(q *Partial) {
+	for c := 0; c < 3; c++ {
+		p.Acc[c].Merge(q.Acc[c])
+		p.Jerk[c].Merge(q.Jerk[c])
+	}
+	p.Pot.Merge(q.Pot)
+	if q.NND2 < p.NND2 || (q.NND2 == p.NND2 && q.NN >= 0 && (p.NN < 0 || q.NN < p.NN)) {
+		p.NND2 = q.NND2
+		p.NN = q.NN
+	}
+}
+
+// Overflowed reports whether any accumulator overflowed its block format.
+func (p *Partial) Overflowed() bool {
+	for c := 0; c < 3; c++ {
+		if p.Acc[c].Overflow || p.Jerk[c].Overflow {
+			return true
+		}
+	}
+	return p.Pot.Overflow
+}
+
+// Chip is one emulated processor chip.
+type Chip struct {
+	cfg Config
+	mem []JParticle
+
+	// predicted state, refreshed by Predict
+	predT  float64
+	predOK bool
+	px     [][3]gfixed.Fixed64
+	pv     [][3]float64
+}
+
+// New returns an empty chip. It panics on invalid configuration, mirroring
+// the hardware's "does not exist" failure mode for impossible designs.
+func New(cfg Config) *Chip {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Chip{cfg: cfg}
+}
+
+// Config returns the chip's configuration.
+func (ch *Chip) Config() Config { return ch.cfg }
+
+// NJ returns the number of stored j-particles.
+func (ch *Chip) NJ() int { return len(ch.mem) }
+
+// LoadJ replaces the chip memory contents. It returns an error when the
+// particle count exceeds the memory capacity.
+func (ch *Chip) LoadJ(ps []JParticle) error {
+	if len(ps) > ch.cfg.MemCapacity {
+		return fmt.Errorf("chip: %d j-particles exceed memory capacity %d", len(ps), ch.cfg.MemCapacity)
+	}
+	ch.mem = append(ch.mem[:0], ps...)
+	ch.growPred()
+	ch.predOK = false
+	return nil
+}
+
+// WriteJ updates one memory slot (the host's j-particle update path after
+// a block is corrected).
+func (ch *Chip) WriteJ(slot int, p JParticle) error {
+	if slot < 0 || slot >= len(ch.mem) {
+		return fmt.Errorf("chip: slot %d out of range [0,%d)", slot, len(ch.mem))
+	}
+	ch.mem[slot] = p
+	ch.predOK = false
+	return nil
+}
+
+func (ch *Chip) growPred() {
+	if cap(ch.px) < len(ch.mem) {
+		ch.px = make([][3]gfixed.Fixed64, len(ch.mem))
+		ch.pv = make([][3]float64, len(ch.mem))
+	}
+	ch.px = ch.px[:len(ch.mem)]
+	ch.pv = ch.pv[:len(ch.mem)]
+}
+
+// PredictParticle evaluates the predictor polynomials, eqs. (6)-(7), for a
+// single stored particle in the pipeline's rounded arithmetic, returning
+// the fixed-point position and float velocity at time t. It is exported so
+// that the host backend can predict i-particles through the IDENTICAL
+// datapath: a particle predicted by the host then compared against its own
+// memory image predicted by the chip yields an exactly zero coordinate
+// difference, making the self-interaction contribute nothing to the
+// acceleration and jerk (and exactly -m/ε to the potential).
+func PredictParticle(f gfixed.Format, j *JParticle, t float64) (x [3]gfixed.Fixed64, v [3]float64) {
+	dt := f.Round(t - j.T0)
+	for c := 0; c < 3; c++ {
+		// Horner evaluation of the displacement polynomial
+		// dt·(v + dt/2·(a + dt/3·(j + dt/4·s))), rounded per stage.
+		poly := f.Round(j.J[c] + f.Round(dt/4*j.S[c]))
+		poly = f.Round(j.A[c] + f.Round(dt/3*poly))
+		poly = f.Round(j.V[c] + f.Round(dt/2*poly))
+		disp := f.Round(dt * poly)
+		dq, err := f.ToFixed(disp)
+		if err != nil {
+			// Out-of-range prediction: clamp to the format's edge; the
+			// force result will be garbage for this pair, as on the real
+			// chip when a particle escapes the coordinate range.
+			if disp > 0 {
+				dq = Fixed64Max
+			} else {
+				dq = -Fixed64Max
+			}
+		}
+		x[c] = j.X[c] + dq
+
+		// Velocity predictor, eq. (7) truncated at snap.
+		vp := f.Round(j.S[c]*dt/3 + j.J[c])
+		vp = f.Round(j.A[c] + f.Round(dt/2*vp))
+		v[c] = f.Round(j.V[c] + f.Round(dt*vp))
+	}
+	return x, v
+}
+
+// Predict runs the predictor pipeline: every stored j-particle is advanced
+// to time t via PredictParticle and cached for the force pipelines.
+func (ch *Chip) Predict(t float64) {
+	if ch.predOK && ch.predT == t {
+		return
+	}
+	for k := range ch.mem {
+		ch.px[k], ch.pv[k] = PredictParticle(ch.cfg.Format, &ch.mem[k], t)
+	}
+	ch.predT = t
+	ch.predOK = true
+}
+
+// Fixed64Max is the largest fixed-point coordinate value.
+const Fixed64Max = gfixed.Fixed64(math.MaxInt64)
+
+// ForceBatch evaluates the forces on the given i-particles from the chip's
+// stored j-particles, predicted to time t, with softening eps. It returns
+// one Partial per i-particle and the number of clock cycles the batch
+// occupies the chip.
+//
+// Cycle model: the i-particles are served in passes of Pipelines×VMP; each
+// pass streams the whole j-memory at VMP cycles per j-particle (each
+// j-particle is applied to the VMP virtual pipelines in turn) plus the
+// pipeline drain latency.
+func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, int64) {
+	ch.Predict(t)
+	f := ch.cfg.Format
+	e2 := f.Round(eps * eps)
+
+	out := make([]*Partial, len(is))
+	for i := range is {
+		out[i] = NewPartial(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
+		ch.forceOne(&is[i], out[i], e2)
+	}
+
+	passes := (len(is) + ch.cfg.IBatch() - 1) / ch.cfg.IBatch()
+	cycles := int64(passes) * (int64(ch.cfg.VMP)*int64(len(ch.mem)) + int64(ch.cfg.PipelineDepth))
+	return out, cycles
+}
+
+// forceOne streams the j-memory against one i-particle.
+func (ch *Chip) forceOne(ip *IParticle, p *Partial, e2 float64) {
+	f := ch.cfg.Format
+	for k := range ch.mem {
+		j := &ch.mem[k]
+
+		// Stage 1: coordinate difference, exact in fixed point, then
+		// converted to the pipeline float format.
+		dx := f.DiffToFloat(ip.X[0], ch.px[k][0])
+		dy := f.DiffToFloat(ip.X[1], ch.px[k][1])
+		dz := f.DiffToFloat(ip.X[2], ch.px[k][2])
+		dvx := f.Round(ch.pv[k][0] - ip.V[0])
+		dvy := f.Round(ch.pv[k][1] - ip.V[1])
+		dvz := f.Round(ch.pv[k][2] - ip.V[2])
+
+		// Stage 2: squared distance with softening.
+		r2 := f.Round(dx*dx + dy*dy + dz*dz + e2)
+		if r2 <= 0 {
+			// Self-pair with zero softening: masked, contributes nothing.
+			continue
+		}
+
+		// Stage 3: inverse square root and force factor.
+		rinv := f.Round(1 / math.Sqrt(r2))
+		rinv2 := f.Round(rinv * rinv)
+		mrinv := f.Round(j.Mass * rinv)
+		mrinv3 := f.Round(mrinv * rinv2)
+
+		// Stage 4: (v·r)/(r²+ε²).
+		rv := f.Round((dx*dvx + dy*dvy + dz*dvz) * rinv2)
+		rv3 := f.Round(3 * rv)
+
+		// Stage 5: accumulate in block floating point.
+		p.Acc[0].Add(f.Round(mrinv3 * dx))
+		p.Acc[1].Add(f.Round(mrinv3 * dy))
+		p.Acc[2].Add(f.Round(mrinv3 * dz))
+		p.Jerk[0].Add(f.Round(mrinv3 * f.Round(dvx-rv3*dx)))
+		p.Jerk[1].Add(f.Round(mrinv3 * f.Round(dvy-rv3*dy)))
+		p.Jerk[2].Add(f.Round(mrinv3 * f.Round(dvz-rv3*dz)))
+		p.Pot.Add(-mrinv)
+
+		// Nearest-neighbour unit, excluding the self-pair by id.
+		if j.ID != ip.SelfID && (r2 < p.NND2 || (r2 == p.NND2 && (p.NN < 0 || j.ID < p.NN))) {
+			p.NND2 = r2
+			p.NN = j.ID
+		}
+	}
+}

@@ -1,0 +1,43 @@
+package chip
+
+import (
+	"grape6/internal/gfixed"
+	"grape6/internal/vec"
+)
+
+// MakeJParticle converts full-precision particle state into the chip
+// storage formats: the position is quantized to fixed point and all other
+// quantities are rounded to the pipeline float width. Positions outside
+// the fixed-point range return gfixed.ErrPosRange.
+func MakeJParticle(f gfixed.Format, id int, t0, mass float64, x, v, a, j, s vec.V3) (JParticle, error) {
+	var p JParticle
+	p.ID = id
+	p.T0 = t0
+	p.Mass = f.Round(mass)
+	xs := [3]float64{x.X, x.Y, x.Z}
+	for c := 0; c < 3; c++ {
+		q, err := f.ToFixed(xs[c])
+		if err != nil {
+			return p, err
+		}
+		p.X[c] = q
+	}
+	p.V = roundV3(f, v)
+	p.A = roundV3(f, a)
+	p.J = roundV3(f, j)
+	p.S = roundV3(f, s)
+	return p, nil
+}
+
+func roundV3(f gfixed.Format, v vec.V3) [3]float64 {
+	return [3]float64{f.Round(v.X), f.Round(v.Y), f.Round(v.Z)}
+}
+
+// PartialValues extracts the accumulated force, jerk and potential of a
+// merged partial result as float64 vectors.
+func PartialValues(p *Partial) (acc, jerk vec.V3, pot float64) {
+	acc = vec.New(p.Acc[0].Value(), p.Acc[1].Value(), p.Acc[2].Value())
+	jerk = vec.New(p.Jerk[0].Value(), p.Jerk[1].Value(), p.Jerk[2].Value())
+	pot = p.Pot.Value()
+	return
+}

@@ -1,0 +1,117 @@
+package chip
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/ecc"
+	"grape6/internal/gfixed"
+)
+
+// This file models the chip's DRAM path: the j-particle memory travels
+// over the "72-bit (with ECC) data width" interface of Section 3.4, i.e.
+// every 64-bit word is stored as a Hamming-SECDED codeword. EncodeMemory /
+// ScrubMemory give the emulator the same fault model as the hardware:
+// single-bit upsets are corrected transparently, double-bit upsets are
+// detected and reported.
+
+// WordsPerParticle is the memory footprint of one j-particle in 64-bit
+// words: id, t0, mass, 3 fixed-point coordinates and 4×3 floats.
+const WordsPerParticle = 18
+
+// serialize packs a JParticle into its memory words.
+func serialize(p JParticle) [WordsPerParticle]uint64 {
+	var w [WordsPerParticle]uint64
+	w[0] = uint64(int64(p.ID))
+	w[1] = math.Float64bits(p.T0)
+	w[2] = math.Float64bits(p.Mass)
+	for c := 0; c < 3; c++ {
+		w[3+c] = uint64(int64(p.X[c]))
+		w[6+c] = math.Float64bits(p.V[c])
+		w[9+c] = math.Float64bits(p.A[c])
+		w[12+c] = math.Float64bits(p.J[c])
+		w[15+c] = math.Float64bits(p.S[c])
+	}
+	return w
+}
+
+// deserialize unpacks memory words into a JParticle.
+func deserialize(w [WordsPerParticle]uint64) JParticle {
+	var p JParticle
+	p.ID = int(int64(w[0]))
+	p.T0 = math.Float64frombits(w[1])
+	p.Mass = math.Float64frombits(w[2])
+	for c := 0; c < 3; c++ {
+		p.X[c] = gfixed.Fixed64(int64(w[3+c]))
+		p.V[c] = math.Float64frombits(w[6+c])
+		p.A[c] = math.Float64frombits(w[9+c])
+		p.J[c] = math.Float64frombits(w[12+c])
+		p.S[c] = math.Float64frombits(w[15+c])
+	}
+	return p
+}
+
+// MemoryImage is the ECC-protected DRAM image of a chip's j-memory.
+type MemoryImage struct {
+	words []ecc.Codeword
+	n     int // particles
+}
+
+// EncodeMemory builds the protected image of a particle set.
+func EncodeMemory(ps []JParticle) *MemoryImage {
+	img := &MemoryImage{n: len(ps), words: make([]ecc.Codeword, 0, len(ps)*WordsPerParticle)}
+	for _, p := range ps {
+		for _, w := range serialize(p) {
+			img.words = append(img.words, ecc.Encode(w))
+		}
+	}
+	return img
+}
+
+// Len returns the particle count of the image.
+func (img *MemoryImage) Len() int { return img.n }
+
+// Words returns the raw codeword count.
+func (img *MemoryImage) Words() int { return len(img.words) }
+
+// FlipBit injects a fault: toggles one bit of one codeword.
+func (img *MemoryImage) FlipBit(word int, bit uint) {
+	if word < 0 || word >= len(img.words) {
+		panic(fmt.Sprintf("chip: memory word %d out of range [0,%d)", word, len(img.words)))
+	}
+	img.words[word].FlipBit(bit)
+}
+
+// ScrubReport summarises a memory scrub pass.
+type ScrubReport struct {
+	Corrected     int // single-bit upsets repaired
+	Uncorrectable int // words with detected multi-bit corruption
+}
+
+// Scrub decodes the whole image, correcting single-bit errors in place
+// (rewriting the repaired codewords, as a hardware scrubber does) and
+// returns the recovered particles plus the fault report. Particles
+// containing uncorrectable words are returned as stored (garbage), with
+// the report flagging the corruption — the caller decides whether to
+// reload from the host copy.
+func (img *MemoryImage) Scrub() ([]JParticle, ScrubReport) {
+	var rep ScrubReport
+	out := make([]JParticle, img.n)
+	for i := 0; i < img.n; i++ {
+		var w [WordsPerParticle]uint64
+		for k := 0; k < WordsPerParticle; k++ {
+			idx := i*WordsPerParticle + k
+			data, st := ecc.Decode(img.words[idx])
+			switch st {
+			case ecc.Corrected:
+				rep.Corrected++
+				img.words[idx] = ecc.Encode(data) // repair in place
+			case ecc.Uncorrectable:
+				rep.Uncorrectable++
+			}
+			w[k] = data
+		}
+		out[i] = deserialize(w)
+	}
+	return out, rep
+}

@@ -1,0 +1,108 @@
+package chip
+
+import (
+	"testing"
+
+	"grape6/internal/gfixed"
+	"grape6/internal/model"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+func sampleParticles(t testing.TB, n int) []JParticle {
+	t.Helper()
+	sys := model.Plummer(n, xrand.New(3))
+	ps := make([]JParticle, n)
+	for i := 0; i < n; i++ {
+		p, err := MakeJParticle(gfixed.Grape6, i, float64(i)/64, sys.Mass[i],
+			sys.Pos[i], sys.Vel[i], vec.New(1, -2, 3), vec.New(0.1, 0.2, -0.3), vec.Zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ps[i] = p
+	}
+	return ps
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	ps := sampleParticles(t, 16)
+	img := EncodeMemory(ps)
+	if img.Len() != 16 || img.Words() != 16*WordsPerParticle {
+		t.Fatalf("image shape: %d particles, %d words", img.Len(), img.Words())
+	}
+	got, rep := img.Scrub()
+	if rep.Corrected != 0 || rep.Uncorrectable != 0 {
+		t.Errorf("clean image reported faults: %+v", rep)
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("particle %d not restored exactly:\n%+v\n%+v", i, ps[i], got[i])
+		}
+	}
+}
+
+func TestSingleBitUpsetsRepaired(t *testing.T) {
+	ps := sampleParticles(t, 8)
+	img := EncodeMemory(ps)
+	// Inject upsets across several words and positions.
+	rng := xrand.New(7)
+	flips := 0
+	for w := 0; w < img.Words(); w += 17 {
+		img.FlipBit(w, uint(rng.Intn(72)))
+		flips++
+	}
+	got, rep := img.Scrub()
+	if rep.Corrected != flips {
+		t.Errorf("corrected %d of %d injected upsets", rep.Corrected, flips)
+	}
+	if rep.Uncorrectable != 0 {
+		t.Errorf("spurious uncorrectable: %+v", rep)
+	}
+	for i := range ps {
+		if got[i] != ps[i] {
+			t.Fatalf("particle %d corrupted after scrub", i)
+		}
+	}
+	// Second scrub must be clean: repairs were written back.
+	_, rep2 := img.Scrub()
+	if rep2.Corrected != 0 || rep2.Uncorrectable != 0 {
+		t.Errorf("repairs not persisted: %+v", rep2)
+	}
+}
+
+func TestDoubleBitUpsetDetected(t *testing.T) {
+	ps := sampleParticles(t, 4)
+	img := EncodeMemory(ps)
+	img.FlipBit(5, 3)
+	img.FlipBit(5, 40)
+	_, rep := img.Scrub()
+	if rep.Uncorrectable != 1 {
+		t.Errorf("double-bit upset not detected: %+v", rep)
+	}
+}
+
+func TestFlipBitBounds(t *testing.T) {
+	img := EncodeMemory(sampleParticles(t, 2))
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range word did not panic")
+		}
+	}()
+	img.FlipBit(img.Words(), 0)
+}
+
+func TestSerializeRoundTrip(t *testing.T) {
+	ps := sampleParticles(t, 3)
+	for _, p := range ps {
+		if got := deserialize(serialize(p)); got != p {
+			t.Fatalf("serialize round trip failed: %+v vs %+v", got, p)
+		}
+	}
+	// Negative coordinates and ids survive.
+	p := ps[0]
+	p.ID = -5
+	p.X[1] = -1 << 50
+	if got := deserialize(serialize(p)); got != p {
+		t.Fatal("negative values corrupted")
+	}
+}

@@ -1,0 +1,208 @@
+// Package des is a deterministic discrete-event simulation kernel with
+// goroutine-based processes. It provides the virtual time base on which
+// the network simulator (internal/simnet) and the parallel N-body
+// algorithms (internal/parallel) run: simulated hosts are ordinary Go
+// functions that Sleep in virtual time and exchange messages, while the
+// kernel guarantees that exactly one process executes at a time and that
+// events fire in (time, creation-order) sequence — so every simulation is
+// reproducible bit for bit.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled wake-up.
+type event struct {
+	at  float64
+	seq uint64 // tie-breaker: creation order
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the event queue.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+
+	// procs counts live processes; yield/resume implements the
+	// one-runnable-goroutine discipline.
+	active *Proc         // the currently executing process, nil in the scheduler
+	sched  chan struct{} // signalled when the active process yields
+	nproc  int
+}
+
+// New returns an engine at virtual time 0.
+func New() *Engine {
+	return &Engine{sched: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() float64 { return e.now }
+
+// At schedules fn to run at absolute virtual time t (clamped to now).
+// Callbacks run in the scheduler context and must not block.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run after a virtual delay d ≥ 0.
+func (e *Engine) After(d float64, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// Proc is a simulated process: a goroutine that runs only when the engine
+// hands it the virtual CPU.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	done   bool
+}
+
+// Name returns the process name (for diagnostics).
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() float64 { return p.eng.now }
+
+// Spawn creates a process executing fn, scheduled to start at the current
+// virtual time. fn runs in its own goroutine but never concurrently with
+// other processes or the scheduler.
+func (e *Engine) Spawn(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.nproc++
+	e.After(0, func() {
+		go func() {
+			<-p.resume // wait for the scheduler to hand over
+			fn(p)
+			p.done = true
+			e.nproc--
+			e.active = nil
+			e.sched <- struct{}{} // return control
+		}()
+		e.handoff(p)
+	})
+	return p
+}
+
+// handoff transfers the virtual CPU to p and waits for it to yield. Must
+// be called from scheduler context.
+func (e *Engine) handoff(p *Proc) {
+	e.active = p
+	p.resume <- struct{}{}
+	<-e.sched
+}
+
+// yield returns control from the active process to the scheduler and
+// blocks until resumed.
+func (p *Proc) yield() {
+	p.eng.active = nil
+	p.eng.sched <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for a virtual duration d ≥ 0.
+func (p *Proc) Sleep(d float64) {
+	if d < 0 {
+		panic(fmt.Sprintf("des: negative sleep %v", d))
+	}
+	e := p.eng
+	e.At(e.now+d, func() { e.handoff(p) })
+	p.yield()
+}
+
+// Wait suspends the process until wake is called with it.
+type Waiter struct {
+	p       *Proc
+	waiting bool
+}
+
+// NewWaiter returns a parking spot for p.
+func (p *Proc) NewWaiter() *Waiter { return &Waiter{p: p} }
+
+// Park blocks the process until Wake. Calling Park while already parked is
+// a programming error.
+func (w *Waiter) Park() {
+	if w.waiting {
+		panic("des: double park")
+	}
+	w.waiting = true
+	w.p.yield()
+}
+
+// Wake schedules the parked process to resume at virtual time t (or now,
+// if t is in the past). It is a no-op if the process is not parked — the
+// caller is responsible for pairing Park/Wake correctly. Must be called
+// from scheduler context (event callbacks) or from another process.
+func (w *Waiter) Wake(t float64) {
+	if !w.waiting {
+		return
+	}
+	w.waiting = false
+	e := w.p.eng
+	e.At(t, func() { e.handoff(w.p) })
+}
+
+// Run processes events until the queue is empty or the virtual clock
+// exceeds until. It returns the final virtual time.
+func (e *Engine) Run(until float64) float64 {
+	for len(e.events) > 0 {
+		ev := e.events[0]
+		if ev.at > until {
+			break
+		}
+		heap.Pop(&e.events)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunAll processes events until the queue is empty.
+func (e *Engine) RunAll() float64 {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of scheduled events.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Live returns the number of live (spawned, not finished) processes. A
+// non-zero value after RunAll indicates deadlocked processes.
+func (e *Engine) Live() int { return e.nproc }

@@ -1,0 +1,172 @@
+// Package diag provides the on-the-fly analysis quantities the frontend
+// hosts compute during production runs (the paper's Section 1: "The
+// frontend processors perform all other operations, such as ... on-the-fly
+// analysis"): conserved-quantity tracking, Lagrangian radii, core
+// diagnostics and error norms.
+package diag
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+)
+
+// Energies is a snapshot of the system's mechanical state.
+type Energies struct {
+	Kinetic   float64
+	Potential float64
+	Virial    float64 // |2T/W|
+}
+
+// Total returns T + W.
+func (e Energies) Total() float64 { return e.Kinetic + e.Potential }
+
+// Measure computes the energy decomposition with softening eps (exact
+// O(N²) potential; diagnostics only).
+func Measure(sys *nbody.System, eps float64) Energies {
+	t := sys.KineticEnergy()
+	w := sys.PotentialEnergy(eps)
+	v := math.Inf(1)
+	if w != 0 {
+		v = math.Abs(2 * t / w)
+	}
+	return Energies{Kinetic: t, Potential: w, Virial: v}
+}
+
+// Conservation tracks relative drifts of the conserved quantities across a
+// run.
+type Conservation struct {
+	E0 float64
+	L0 vec.V3
+	P0 vec.V3
+}
+
+// NewConservation records the reference state.
+func NewConservation(sys *nbody.System, eps float64) *Conservation {
+	return &Conservation{
+		E0: sys.TotalEnergy(eps),
+		L0: sys.AngularMomentum(),
+		P0: momentum(sys),
+	}
+}
+
+func momentum(sys *nbody.System) vec.V3 {
+	var p vec.V3
+	for i := 0; i < sys.N; i++ {
+		p = p.AddScaled(sys.Mass[i], sys.Vel[i])
+	}
+	return p
+}
+
+// Drift reports the relative energy error and the absolute angular
+// momentum and momentum drifts against the reference.
+func (c *Conservation) Drift(sys *nbody.System, eps float64) (dE, dL, dP float64) {
+	e := sys.TotalEnergy(eps)
+	if c.E0 != 0 {
+		dE = math.Abs((e - c.E0) / c.E0)
+	} else {
+		dE = math.Abs(e)
+	}
+	dL = sys.AngularMomentum().Sub(c.L0).Norm()
+	dP = momentum(sys).Sub(c.P0).Norm()
+	return
+}
+
+// LagrangianRadii returns the radii (about the density-weighted centre)
+// enclosing the given mass fractions. Fractions must be in (0, 1].
+func LagrangianRadii(sys *nbody.System, fractions []float64) ([]float64, error) {
+	if sys.N == 0 {
+		return nil, fmt.Errorf("diag: empty system")
+	}
+	for _, f := range fractions {
+		if f <= 0 || f > 1 {
+			return nil, fmt.Errorf("diag: mass fraction %v out of (0,1]", f)
+		}
+	}
+	c := sys.CenterOfMass()
+	type mr struct {
+		r float64
+		m float64
+	}
+	rs := make([]mr, sys.N)
+	var mTot float64
+	for i := 0; i < sys.N; i++ {
+		rs[i] = mr{r: sys.Pos[i].Dist(c), m: sys.Mass[i]}
+		mTot += sys.Mass[i]
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].r < rs[j].r })
+
+	out := make([]float64, len(fractions))
+	for k, f := range fractions {
+		target := f * mTot
+		var acc float64
+		out[k] = rs[len(rs)-1].r
+		for _, e := range rs {
+			acc += e.m
+			if acc >= target {
+				out[k] = e.r
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+// CoreRadius estimates the core radius via the Casertano & Hut (1985)
+// density-weighted radius with a k-th nearest neighbour density estimate
+// (k = 6). O(N²); diagnostics only.
+func CoreRadius(sys *nbody.System) float64 {
+	if sys.N < 8 {
+		return 0
+	}
+	const k = 6
+	rho := make([]float64, sys.N)
+	d2 := make([]float64, sys.N)
+	for i := 0; i < sys.N; i++ {
+		for j := 0; j < sys.N; j++ {
+			d2[j] = sys.Pos[i].Dist2(sys.Pos[j])
+		}
+		sort.Float64s(d2)
+		rk := math.Sqrt(d2[k]) // d2[0] is the self distance 0
+		if rk == 0 {
+			continue
+		}
+		rho[i] = sys.Mass[i] * float64(k) / (rk * rk * rk)
+	}
+	var num, den float64
+	c := sys.CenterOfMass()
+	for i := 0; i < sys.N; i++ {
+		num += rho[i] * sys.Pos[i].Dist(c)
+		den += rho[i]
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// RMSRelative returns the root-mean-square relative deviation between two
+// vector fields (e.g. emulated vs reference forces).
+func RMSRelative(got, want []vec.V3) (float64, error) {
+	if len(got) != len(want) {
+		return 0, fmt.Errorf("diag: length mismatch %d vs %d", len(got), len(want))
+	}
+	var sum float64
+	var n int
+	for i := range got {
+		w := want[i].Norm()
+		if w == 0 {
+			continue
+		}
+		d := got[i].Sub(want[i]).Norm() / w
+		sum += d * d
+		n++
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(sum / float64(n)), nil
+}

@@ -1,0 +1,145 @@
+package diag
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+func TestMeasurePlummer(t *testing.T) {
+	sys := model.Plummer(2000, xrand.New(1))
+	e := Measure(sys, 0)
+	if e.Kinetic <= 0 || e.Potential >= 0 {
+		t.Errorf("energies: %+v", e)
+	}
+	if math.Abs(e.Total()+0.25) > 0.05 {
+		t.Errorf("total energy = %v, want ≈ -0.25", e.Total())
+	}
+	if e.Virial < 0.85 || e.Virial > 1.15 {
+		t.Errorf("virial = %v", e.Virial)
+	}
+}
+
+func TestConservationDriftZero(t *testing.T) {
+	sys := model.Plummer(100, xrand.New(2))
+	c := NewConservation(sys, 0.01)
+	dE, dL, dP := c.Drift(sys, 0.01)
+	if dE != 0 || dL != 0 || dP != 0 {
+		t.Errorf("self drift = %v %v %v", dE, dL, dP)
+	}
+}
+
+func TestConservationDetectsChange(t *testing.T) {
+	sys := model.Plummer(100, xrand.New(3))
+	c := NewConservation(sys, 0.01)
+	sys.Vel[0] = sys.Vel[0].Add(vec.New(1, 0, 0))
+	dE, dL, dP := c.Drift(sys, 0.01)
+	if dE == 0 || dL == 0 || dP == 0 {
+		t.Errorf("perturbation not detected: %v %v %v", dE, dL, dP)
+	}
+}
+
+func TestLagrangianRadiiOrdering(t *testing.T) {
+	sys := model.Plummer(4000, xrand.New(4))
+	rs, err := LagrangianRadii(sys, []float64{0.1, 0.5, 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rs[0] < rs[1] && rs[1] < rs[2]) {
+		t.Errorf("radii not ordered: %v", rs)
+	}
+	// Plummer half-mass radius ≈ 0.77 in Heggie units.
+	if rs[1] < 0.6 || rs[1] > 0.95 {
+		t.Errorf("half-mass radius = %v", rs[1])
+	}
+}
+
+func TestLagrangianRadiiValidation(t *testing.T) {
+	sys := model.Plummer(16, xrand.New(5))
+	if _, err := LagrangianRadii(sys, []float64{0}); err == nil {
+		t.Error("accepted zero fraction")
+	}
+	if _, err := LagrangianRadii(sys, []float64{1.2}); err == nil {
+		t.Error("accepted >1 fraction")
+	}
+	if _, err := LagrangianRadii(nbody.New(0), []float64{0.5}); err == nil {
+		t.Error("accepted empty system")
+	}
+	// Full mass: radius of the outermost particle.
+	rs, err := LagrangianRadii(sys, []float64{1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rmax float64
+	c := sys.CenterOfMass()
+	for i := 0; i < sys.N; i++ {
+		if r := sys.Pos[i].Dist(c); r > rmax {
+			rmax = r
+		}
+	}
+	if math.Abs(rs[0]-rmax) > 1e-12 {
+		t.Errorf("full-mass radius %v != outermost %v", rs[0], rmax)
+	}
+}
+
+func TestCoreRadiusPlummer(t *testing.T) {
+	sys := model.Plummer(1000, xrand.New(6))
+	rc := CoreRadius(sys)
+	// Plummer core radius ≈ 0.64a ≈ 0.38 in Heggie units; the CH85
+	// estimator gives the same order.
+	if rc < 0.05 || rc > 1.2 {
+		t.Errorf("core radius = %v", rc)
+	}
+	if CoreRadius(nbody.New(4)) != 0 {
+		t.Error("tiny system should return 0")
+	}
+}
+
+func TestCoreRadiusShrinksForConcentrated(t *testing.T) {
+	// A model compressed by 2x must report a smaller core radius.
+	sys := model.Plummer(500, xrand.New(7))
+	rc1 := CoreRadius(sys)
+	for i := 0; i < sys.N; i++ {
+		sys.Pos[i] = sys.Pos[i].Scale(0.5)
+	}
+	rc2 := CoreRadius(sys)
+	if rc2 >= rc1 {
+		t.Errorf("compressed core radius %v not below %v", rc2, rc1)
+	}
+}
+
+func TestRMSRelative(t *testing.T) {
+	a := []vec.V3{vec.New(1, 0, 0), vec.New(0, 2, 0)}
+	b := []vec.V3{vec.New(1, 0, 0), vec.New(0, 2, 0)}
+	rms, err := RMSRelative(a, b)
+	if err != nil || rms != 0 {
+		t.Errorf("identical fields rms = %v err %v", rms, err)
+	}
+	b[0] = vec.New(1.1, 0, 0) // 10% error on one of two
+	rms, err = RMSRelative(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// got[0]=(1,0,0) vs want[0]=(1.1,0,0): relative error 0.1/1.1,
+	// averaged over two entries.
+	want := (0.1 / 1.1) / math.Sqrt(2)
+	if math.Abs(rms-want) > 1e-9 {
+		t.Errorf("rms = %v, want %v", rms, want)
+	}
+	if _, err := RMSRelative(a, b[:1]); err == nil {
+		t.Error("accepted length mismatch")
+	}
+}
+
+func TestRMSRelativeSkipsZeros(t *testing.T) {
+	a := []vec.V3{vec.Zero, vec.New(1, 0, 0)}
+	b := []vec.V3{vec.Zero, vec.New(1, 0, 0)}
+	rms, err := RMSRelative(b, a)
+	if err != nil || rms != 0 {
+		t.Errorf("rms = %v err = %v", rms, err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package ecc implements the Hamming SECDED (single-error-correct,
+// double-error-detect) code behind GRAPE-6's memory interface: the paper
+// specifies "a 72-bit (with ECC) data width for transfer between memory
+// and the processor chip" (Section 3.4) — 64 data bits protected by 7
+// Hamming parity bits plus one overall parity bit.
+//
+// The codeword layout is the classic extended Hamming arrangement: bit
+// position 0 carries the overall parity, positions 2^k (k = 0..6) carry
+// the Hamming parities, and the 64 data bits fill the remaining positions
+// 3,5,6,7,9,...,71.
+package ecc
+
+import "fmt"
+
+// Codeword is a 72-bit ECC word: positions 0..63 in Lo, 64..71 in Hi.
+type Codeword struct {
+	Lo uint64
+	Hi uint8
+}
+
+// bit returns position p of the codeword.
+func (c Codeword) bit(p uint) uint64 {
+	if p < 64 {
+		return (c.Lo >> p) & 1
+	}
+	return uint64(c.Hi>>(p-64)) & 1
+}
+
+// setBit sets position p to v (0 or 1).
+func (c *Codeword) setBit(p uint, v uint64) {
+	if p < 64 {
+		c.Lo = c.Lo&^(1<<p) | (v&1)<<p
+	} else {
+		c.Hi = c.Hi&^(1<<(p-64)) | uint8(v&1)<<(p-64)
+	}
+}
+
+// FlipBit toggles position p — the fault-injection hook used by the
+// memory-scrub tests.
+func (c *Codeword) FlipBit(p uint) {
+	if p >= 72 {
+		panic(fmt.Sprintf("ecc: bit position %d out of range [0,72)", p))
+	}
+	c.setBit(p, c.bit(p)^1)
+}
+
+// dataPositions lists the codeword positions holding data bits, in order:
+// every position in [1, 72) that is not a power of two.
+var dataPositions = func() [64]uint {
+	var out [64]uint
+	k := 0
+	for p := uint(1); p < 72; p++ {
+		if p&(p-1) == 0 {
+			continue // parity position
+		}
+		out[k] = p
+		k++
+	}
+	if k != 64 {
+		panic("ecc: layout error")
+	}
+	return out
+}()
+
+// Encode produces the SECDED codeword for 64 data bits.
+func Encode(data uint64) Codeword {
+	var c Codeword
+	for i, p := range dataPositions {
+		c.setBit(p, data>>uint(i))
+	}
+	// Hamming parities: parity at 2^k covers positions with bit k set.
+	for k := uint(0); k < 7; k++ {
+		var par uint64
+		for p := uint(1); p < 72; p++ {
+			if p&(1<<k) != 0 && p&(p-1) != 0 {
+				par ^= c.bit(p)
+			}
+		}
+		c.setBit(1<<k, par)
+	}
+	// Overall parity over all 72 bits (even parity).
+	var all uint64
+	for p := uint(1); p < 72; p++ {
+		all ^= c.bit(p)
+	}
+	c.setBit(0, all)
+	return c
+}
+
+// Status classifies a decode.
+type Status int
+
+const (
+	// OK: no error detected.
+	OK Status = iota
+	// Corrected: a single-bit error was corrected.
+	Corrected
+	// Uncorrectable: a double-bit (or worse) error was detected.
+	Uncorrectable
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case OK:
+		return "ok"
+	case Corrected:
+		return "corrected"
+	case Uncorrectable:
+		return "uncorrectable"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Decode extracts the data bits, correcting a single-bit error and
+// detecting double-bit errors.
+func Decode(c Codeword) (data uint64, status Status) {
+	// Syndrome: XOR of the positions whose bits are set, over the Hamming
+	// region (positions 1..71 including the parity bits themselves).
+	var syndrome uint
+	for p := uint(1); p < 72; p++ {
+		if c.bit(p) == 1 {
+			syndrome ^= p
+		}
+	}
+	var overall uint64
+	for p := uint(0); p < 72; p++ {
+		overall ^= c.bit(p)
+	}
+
+	switch {
+	case syndrome == 0 && overall == 0:
+		status = OK
+	case syndrome != 0 && overall == 1:
+		if syndrome >= 72 {
+			return extract(c), Uncorrectable
+		}
+		c.FlipBit(syndrome)
+		status = Corrected
+	case syndrome == 0 && overall == 1:
+		// The overall parity bit itself flipped.
+		c.setBit(0, c.bit(0)^1)
+		status = Corrected
+	default: // syndrome != 0, overall == 0: two errors
+		return extract(c), Uncorrectable
+	}
+	return extract(c), status
+}
+
+func extract(c Codeword) uint64 {
+	var data uint64
+	for i, p := range dataPositions {
+		data |= c.bit(p) << uint(i)
+	}
+	return data
+}

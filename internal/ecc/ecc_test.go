@@ -1,0 +1,120 @@
+package ecc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"grape6/internal/xrand"
+)
+
+func TestRoundTrip(t *testing.T) {
+	for _, d := range []uint64{0, 1, 0xffffffffffffffff, 0xdeadbeefcafebabe, 1 << 63} {
+		c := Encode(d)
+		got, st := Decode(c)
+		if st != OK || got != d {
+			t.Errorf("round trip %#x: got %#x status %v", d, got, st)
+		}
+	}
+}
+
+func TestPropRoundTrip(t *testing.T) {
+	f := func(d uint64) bool {
+		got, st := Decode(Encode(d))
+		return st == OK && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllSingleBitErrorsCorrected(t *testing.T) {
+	// The SECDED guarantee: every one of the 72 single-bit flips must be
+	// corrected back to the original data, exhaustively.
+	for _, d := range []uint64{0, 0xdeadbeefcafebabe, ^uint64(0)} {
+		for p := uint(0); p < 72; p++ {
+			c := Encode(d)
+			c.FlipBit(p)
+			got, st := Decode(c)
+			if st != Corrected {
+				t.Fatalf("data %#x flip bit %d: status %v, want Corrected", d, p, st)
+			}
+			if got != d {
+				t.Fatalf("data %#x flip bit %d: got %#x", d, p, got)
+			}
+		}
+	}
+}
+
+func TestAllDoubleBitErrorsDetected(t *testing.T) {
+	// Every pair of flips must be flagged uncorrectable (never silently
+	// mis-corrected). Exhaustive over the 72×71/2 pairs for one pattern.
+	d := uint64(0x0123456789abcdef)
+	for p := uint(0); p < 72; p++ {
+		for q := p + 1; q < 72; q++ {
+			c := Encode(d)
+			c.FlipBit(p)
+			c.FlipBit(q)
+			_, st := Decode(c)
+			if st != Uncorrectable {
+				t.Fatalf("flips (%d,%d): status %v, want Uncorrectable", p, q, st)
+			}
+		}
+	}
+}
+
+func TestPropSingleBitRandom(t *testing.T) {
+	rng := xrand.New(5)
+	f := func(d uint64) bool {
+		p := uint(rng.Intn(72))
+		c := Encode(d)
+		c.FlipBit(p)
+		got, st := Decode(c)
+		return st == Corrected && got == d
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFlipBitPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FlipBit(72) did not panic")
+		}
+	}()
+	c := Encode(0)
+	c.FlipBit(72)
+}
+
+func TestStatusString(t *testing.T) {
+	if OK.String() != "ok" || Corrected.String() != "corrected" || Uncorrectable.String() != "uncorrectable" {
+		t.Error("status strings")
+	}
+	if Status(9).String() == "" {
+		t.Error("unknown status should format")
+	}
+}
+
+func TestCodewordDistinctFromData(t *testing.T) {
+	// Parity must actually occupy bits: the codeword is not just the data.
+	d := uint64(0xffff)
+	c := Encode(d)
+	if c.Lo == d && c.Hi == 0 {
+		t.Error("codeword identical to data — no parity present")
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	var s Codeword
+	for i := 0; i < b.N; i++ {
+		s = Encode(uint64(i) * 0x9e3779b97f4a7c15)
+	}
+	_ = s
+}
+
+func BenchmarkDecode(b *testing.B) {
+	c := Encode(0xdeadbeefcafebabe)
+	for i := 0; i < b.N; i++ {
+		Decode(c)
+	}
+}

@@ -1,0 +1,222 @@
+// Package gbackend adapts the emulated GRAPE-6 hardware (a board.Array) to
+// the integrator's Backend interface, playing the role of the host-side
+// GRAPE library: it keeps the hardware's j-particle memory in sync with
+// the integrator, chooses block-floating-point exponents (from the
+// previous step's force, per Section 3.4), retries on overflow, and
+// accounts the hardware cycles consumed so the timing layer can convert
+// the run into the paper's performance numbers.
+package gbackend
+
+import (
+	"fmt"
+
+	"grape6/internal/board"
+	"grape6/internal/chip"
+	"grape6/internal/direct"
+	"grape6/internal/gfixed"
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+)
+
+// headroom is the exponent margin above the expected result magnitude.
+const headroom = 6
+
+// maxRetries bounds the overflow-retry loop; exceeding it indicates a
+// non-finite force (e.g. an unsoftened collision) rather than a bad guess.
+const maxRetries = 12
+
+// Backend drives a board.Array as the force engine of a Hermite
+// integration.
+type Backend struct {
+	arr *board.Array
+	f   gfixed.Format
+
+	// Host-side copy of the hardware memory image, used to predict
+	// i-particles through the chip's exact datapath (so self-pairs cancel
+	// bit-exactly) and to rebuild particles on update.
+	js   []chip.JParticle
+	byID map[int]int // particle id → js index
+	expA []int       // per-particle block exponents (previous-step guess)
+	expJ []int
+	expP []int
+
+	// Counters for performance accounting and diagnostics.
+	HWCycles    int64 // hardware busy cycles
+	Retries     int64 // overflow-retry force evaluations
+	RangeClamps int64 // coordinates clamped to the fixed-point range
+}
+
+// New returns a Backend over the given hardware attachment.
+func New(arr *board.Array) *Backend {
+	return &Backend{arr: arr, f: arr.Config().Chip.Format, byID: make(map[int]int)}
+}
+
+// Array exposes the underlying hardware (for inspection in tests and the
+// timing layer).
+func (b *Backend) Array() *board.Array { return b.arr }
+
+// NJ implements hermite.Backend.
+func (b *Backend) NJ() int { return b.arr.NJ() }
+
+// Load implements hermite.Backend.
+func (b *Backend) Load(sys *nbody.System) {
+	b.js = make([]chip.JParticle, sys.N)
+	clear(b.byID)
+	b.expA = make([]int, sys.N)
+	b.expJ = make([]int, sys.N)
+	b.expP = make([]int, sys.N)
+	for i := 0; i < sys.N; i++ {
+		b.js[i] = b.makeJ(sys, i)
+		b.byID[sys.ID[i]] = i
+		b.expA[i], b.expJ[i], b.expP[i] = b.guessExponents(sys, i)
+	}
+	if err := b.arr.LoadJ(b.js); err != nil {
+		// Loads can only fail on capacity, a configuration error.
+		panic(fmt.Sprintf("gbackend: %v", err))
+	}
+}
+
+// Update implements hermite.Backend.
+func (b *Backend) Update(sys *nbody.System, idx []int) {
+	for _, i := range idx {
+		j := b.makeJ(sys, i)
+		k := b.byID[sys.ID[i]]
+		b.js[k] = j
+		if err := b.arr.UpdateJ(j); err != nil {
+			panic(fmt.Sprintf("gbackend: %v", err))
+		}
+		b.expA[k], b.expJ[k], b.expP[k] = b.guessExponents(sys, i)
+	}
+}
+
+// makeJ converts one particle to the hardware format, clamping
+// out-of-range coordinates (escapers) to the format's edge.
+func (b *Backend) makeJ(sys *nbody.System, i int) chip.JParticle {
+	p, err := chip.MakeJParticle(b.f, sys.ID[i], sys.Time[i], sys.Mass[i],
+		sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i])
+	if err != nil {
+		b.RangeClamps++
+		clamped := clampV3(sys.Pos[i], b.f.PosRange()*0.999)
+		p, err = chip.MakeJParticle(b.f, sys.ID[i], sys.Time[i], sys.Mass[i],
+			clamped, sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i])
+		if err != nil {
+			panic(fmt.Sprintf("gbackend: clamp failed: %v", err))
+		}
+	}
+	return p
+}
+
+func clampV3(v vec.V3, lim float64) vec.V3 {
+	cl := func(x float64) float64 {
+		if x > lim {
+			return lim
+		}
+		if x < -lim {
+			return -lim
+		}
+		return x
+	}
+	return vec.New(cl(v.X), cl(v.Y), cl(v.Z))
+}
+
+// guessExponents derives block exponents from the particle's last known
+// force — the "value of the exponent at the previous timestep is almost
+// always okay" strategy of Section 3.4.
+func (b *Backend) guessExponents(sys *nbody.System, i int) (ea, ej, ep int) {
+	ea = gfixed.ExponentFor(sys.Acc[i].MaxAbs(), headroom)
+	ej = gfixed.ExponentFor(sys.Jerk[i].MaxAbs(), headroom)
+	ep = gfixed.ExponentFor(sys.Pot[i], headroom)
+	// Fresh systems have zero forces; start from an O(1) guess.
+	if sys.Acc[i] == vec.Zero {
+		ea = headroom + 2
+	}
+	if sys.Jerk[i] == vec.Zero {
+		ej = headroom + 4
+	}
+	if sys.Pot[i] == 0 {
+		ep = headroom + 4
+	}
+	return ea, ej, ep
+}
+
+// Forces implements hermite.Backend. The supplied (xi, vi) host
+// predictions are intentionally ignored: the backend predicts i-particles
+// through the chip's own datapath, which both matches the hardware
+// behaviour (the same predictor feeds both sides) and guarantees that
+// self-pairs cancel exactly.
+func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
+	n := len(ids)
+	is := make([]chip.IParticle, n)
+	ks := make([]int, n)
+	for q, id := range ids {
+		k, ok := b.byID[id]
+		if !ok {
+			panic(fmt.Sprintf("gbackend: unknown particle id %d", id))
+		}
+		ks[q] = k
+		x, v := chip.PredictParticle(b.f, &b.js[k], t)
+		is[q] = chip.IParticle{
+			X: x, V: v, SelfID: id,
+			ExpAcc: b.expA[k], ExpJerk: b.expJ[k], ExpPot: b.expP[k],
+		}
+	}
+
+	out := make([]direct.Force, n)
+	pending := make([]int, n) // indices into is/out still to resolve
+	for q := range pending {
+		pending[q] = q
+	}
+
+	for round := 0; len(pending) > 0; round++ {
+		if round > maxRetries {
+			panic(fmt.Sprintf("gbackend: force exponent did not converge after %d retries "+
+				"(non-finite force, e.g. unsoftened collision?)", maxRetries))
+		}
+		batch := make([]chip.IParticle, len(pending))
+		for q, p := range pending {
+			batch[q] = is[p]
+		}
+		ps, cycles := b.arr.Forces(t, batch, eps)
+		b.HWCycles += cycles
+		if round > 0 {
+			b.Retries++
+		}
+
+		var again []int
+		for q, p := range pending {
+			if ps[q].Overflowed() {
+				// Bump the failing groups and retry — the hardware's
+				// repeat-with-better-exponent protocol.
+				k := ks[p]
+				if anyOverflow(ps[q].Acc[:]) {
+					b.expA[k] += 8
+				}
+				if anyOverflow(ps[q].Jerk[:]) {
+					b.expJ[k] += 8
+				}
+				if ps[q].Pot.Overflow {
+					b.expP[k] += 8
+				}
+				is[p].ExpAcc, is[p].ExpJerk, is[p].ExpPot = b.expA[k], b.expJ[k], b.expP[k]
+				again = append(again, p)
+				continue
+			}
+			acc, jerk, pot := chip.PartialValues(ps[q])
+			out[p] = direct.Force{
+				Acc: acc, Jerk: jerk, Pot: pot,
+				NN: ps[q].NN, NND2: ps[q].NND2,
+			}
+		}
+		pending = again
+	}
+	return out
+}
+
+func anyOverflow(as []*gfixed.Accum) bool {
+	for _, a := range as {
+		if a.Overflow {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,241 @@
+// Package gfixed implements the reduced-precision number formats of the
+// GRAPE-6 processor chip (Section 3.4 of the paper):
+//
+//   - 64-bit fixed-point particle positions, so that coordinate differences
+//     are exact;
+//   - short-mantissa floating point for the pipeline arithmetic;
+//   - block floating point for force accumulation: a fixed-point 64-bit
+//     accumulator whose scale is set by an exponent chosen BEFORE the
+//     calculation starts.
+//
+// The block-floating-point design gives GRAPE-6 a property the paper calls
+// out explicitly: "the calculated result is independent of the number of
+// processor chips used to calculate one force", because the integer
+// summation is exact and the only rounding happens when each pairwise
+// force is shifted into the block format. This package preserves that
+// property bit-for-bit, and the chip emulator's tests rely on it.
+package gfixed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Fixed64 is a position coordinate in 64-bit two's-complement fixed point.
+// The binary point position is carried by the Format, not the value.
+type Fixed64 int64
+
+// Format describes the chip's arithmetic configuration.
+type Format struct {
+	// PosFrac is the number of fraction bits of the fixed-point position
+	// format. The representable range is ±2^(63-PosFrac).
+	PosFrac uint
+
+	// MantBits is the mantissa width (including the implicit leading 1)
+	// used for the pipeline's floating-point operations.
+	MantBits uint
+
+	// AccumFrac is the number of fraction bits of the block-floating-point
+	// accumulator relative to 2^Exp: a contribution v is stored as the
+	// integer round(v · 2^(AccumFrac-Exp)).
+	AccumFrac uint
+}
+
+// Grape6 is the default format, modelled on the published GRAPE-6 word
+// lengths: 64-bit fixed-point positions with 44 fraction bits (range
+// ±2^19, resolution 2^-44), a 32-bit-mantissa pipeline, and a 64-bit
+// accumulator with 40 fraction bits below the block exponent.
+//
+// The pipeline width follows the hardware's design rule rather than a
+// specific gate count: the paper notes "the word length itself is chosen
+// as such" that arithmetic error never affects the simulation. Below ~28
+// mantissa bits the Aarseth timestep criterion becomes noise-dominated
+// (reconstructed crackle ∝ δa/dt³) and block timesteps collapse — the
+// ablation bench BenchmarkAblationMantissa demonstrates exactly this
+// cliff, and 32 bits sits safely above it.
+var Grape6 = Format{
+	PosFrac:   44,
+	MantBits:  32,
+	AccumFrac: 40,
+}
+
+// Validate reports configuration errors.
+func (f Format) Validate() error {
+	if f.PosFrac == 0 || f.PosFrac > 62 {
+		return fmt.Errorf("gfixed: PosFrac %d out of range [1,62]", f.PosFrac)
+	}
+	if f.MantBits < 2 || f.MantBits > 53 {
+		return fmt.Errorf("gfixed: MantBits %d out of range [2,53]", f.MantBits)
+	}
+	if f.AccumFrac == 0 || f.AccumFrac > 62 {
+		return fmt.Errorf("gfixed: AccumFrac %d out of range [1,62]", f.AccumFrac)
+	}
+	return nil
+}
+
+// ErrPosRange is returned when a coordinate exceeds the fixed-point range.
+var ErrPosRange = errors.New("gfixed: position outside fixed-point range")
+
+const two63 = 9.223372036854776e18 // 2^63
+
+// ToFixed converts a float64 coordinate to fixed point, rounding to
+// nearest. It returns ErrPosRange if x is outside the representable range
+// or not finite.
+func (f Format) ToFixed(x float64) (Fixed64, error) {
+	// Multiplying by an exact power of two is exact; the comparison below
+	// also rejects NaN and ±Inf.
+	scaled := math.RoundToEven(x * float64(uint64(1)<<f.PosFrac))
+	if !(scaled < two63 && scaled >= -two63) {
+		return 0, ErrPosRange
+	}
+	return Fixed64(scaled), nil
+}
+
+// FromFixed converts a fixed-point coordinate back to float64.
+func (f Format) FromFixed(v Fixed64) float64 {
+	return float64(v) * (1 / float64(uint64(1)<<f.PosFrac))
+}
+
+// PosResolution returns the quantum of the position format.
+func (f Format) PosResolution() float64 { return math.Ldexp(1, -int(f.PosFrac)) }
+
+// PosRange returns the largest representable coordinate magnitude.
+func (f Format) PosRange() float64 { return math.Ldexp(1, 63-int(f.PosFrac)) }
+
+// DiffToFloat computes the coordinate difference b-a exactly in fixed
+// point and converts it to the pipeline's floating format. This is the
+// chip's first pipeline stage: because the subtraction is exact, distant
+// pairs lose no precision to catastrophic cancellation.
+func (f Format) DiffToFloat(a, b Fixed64) float64 {
+	return f.Round(f.FromFixed(b - a))
+}
+
+// Round rounds x to the pipeline mantissa width (round-to-nearest-even).
+// Zero, infinities and NaN pass through unchanged.
+func (f Format) Round(x float64) float64 {
+	return RoundMantissa(x, f.MantBits)
+}
+
+// RoundMantissa rounds x to the given mantissa width (including the
+// implicit bit), round-to-nearest-even. bits must be in [1, 53]; 53 is an
+// identity. This sits on the chip emulator's innermost loop, so it works
+// directly on the IEEE-754 bit pattern.
+func RoundMantissa(x float64, bits uint) float64 {
+	if x == 0 || bits >= 53 {
+		return x
+	}
+	b := math.Float64bits(x)
+	exp := (b >> 52) & 0x7ff
+	if exp == 0x7ff {
+		return x // Inf or NaN
+	}
+	if exp == 0 {
+		// Subnormal: fall back to the slow exact path.
+		frac, e := math.Frexp(x)
+		scaled := math.Ldexp(frac, int(bits))
+		return math.Ldexp(math.RoundToEven(scaled), e-int(bits))
+	}
+	// Keep bits-1 stored fraction bits; clear and round the rest.
+	shift := 53 - bits
+	half := uint64(1) << (shift - 1)
+	mask := uint64(1)<<shift - 1
+	frac := b & mask
+	b &^= mask
+	if frac > half || (frac == half && (b>>shift)&1 == 1) {
+		// Round up; a mantissa carry propagates into the exponent, which
+		// is exactly the correct IEEE rounding behaviour.
+		b += uint64(1) << shift
+	}
+	return math.Float64frombits(b)
+}
+
+// Accum is a block-floating-point accumulator: Sum counts units of
+// 2^(Exp-AccumFrac). Two accumulators with equal Exp merge by exact
+// integer addition, which is what the module/board FPGA reduction trees do.
+type Accum struct {
+	Exp      int   // block exponent, fixed before accumulation starts
+	Sum      int64 // fixed-point sum
+	Overflow bool  // set when a contribution or the sum left the range
+	fmt      Format
+	scale    float64 // 2^(AccumFrac-Exp), cached for the hot Add path
+}
+
+// NewAccum returns an accumulator with the given block exponent.
+func (f Format) NewAccum(exp int) *Accum {
+	return &Accum{Exp: exp, fmt: f, scale: math.Ldexp(1, int(f.AccumFrac)-exp)}
+}
+
+// Add quantizes v into the block format and adds it. The quantization is
+// the ONLY rounding in the whole summation, making the result independent
+// of summation order and machine partitioning. Contributions too large for
+// the block exponent set the Overflow flag (the hardware's signal to the
+// host to retry with a larger exponent).
+func (a *Accum) Add(v float64) {
+	if v == 0 {
+		return
+	}
+	const two62 = 4.611686018427388e18 // 2^62
+	q := math.RoundToEven(v * a.scale)
+	// The comparison rejects over-range values, ±Inf and NaN in one shot.
+	if !(q < two62 && q > -two62) {
+		a.Overflow = true
+		return
+	}
+	s, ok := addCheck(a.Sum, int64(q))
+	if !ok || s >= 1<<62 || s <= -(1<<62) {
+		a.Overflow = true
+		return
+	}
+	a.Sum = s
+}
+
+// Merge adds another accumulator's partial sum exactly. Both must share
+// the same block exponent; mismatch is a programming error and panics, as
+// the hardware has no path for it.
+func (a *Accum) Merge(b *Accum) {
+	if a.Exp != b.Exp || a.fmt.AccumFrac != b.fmt.AccumFrac {
+		panic("gfixed: merging accumulators with different block formats")
+	}
+	if b.Overflow {
+		a.Overflow = true
+	}
+	s, ok := addCheck(a.Sum, b.Sum)
+	if !ok {
+		a.Overflow = true
+		return
+	}
+	a.Sum = s
+}
+
+// Value converts the accumulated fixed-point sum back to float64.
+func (a *Accum) Value() float64 {
+	return math.Ldexp(float64(a.Sum), a.Exp-int(a.fmt.AccumFrac))
+}
+
+// Reset clears the sum and overflow flag, keeping the exponent.
+func (a *Accum) Reset() {
+	a.Sum = 0
+	a.Overflow = false
+}
+
+func addCheck(a, b int64) (int64, bool) {
+	s := a + b
+	// Overflow iff operands share a sign and the sum's sign differs.
+	if (a >= 0) == (b >= 0) && (s >= 0) != (a >= 0) && a != 0 && b != 0 {
+		return 0, false
+	}
+	return s, true
+}
+
+// ExponentFor returns a block exponent suitable for accumulating values
+// whose final magnitude is around |v|, with headroom bits of margin for
+// intermediate growth. This is the host's "guess from the previous
+// timestep" (Section 3.4).
+func ExponentFor(v float64, headroom int) int {
+	if v == 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+		return headroom
+	}
+	_, e := math.Frexp(v)
+	return e + headroom
+}

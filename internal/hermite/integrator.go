@@ -1,0 +1,235 @@
+package hermite
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+)
+
+// Params collects the integrator's accuracy and scheduling parameters.
+type Params struct {
+	Eta     float64 // Aarseth timestep accuracy parameter
+	EtaS    float64 // startup timestep parameter
+	Eps     float64 // Plummer softening length
+	MinStep float64 // smallest allowed block step (power of two)
+	MaxStep float64 // largest allowed block step (power of two)
+}
+
+// DefaultParams returns the parameters used for the paper-style benchmark
+// runs: η = 0.02 with softening eps.
+func DefaultParams(eps float64) Params {
+	return Params{
+		Eta:     0.02,
+		EtaS:    0.01,
+		Eps:     eps,
+		MinStep: math.Ldexp(1, -23),
+		MaxStep: math.Ldexp(1, -3),
+	}
+}
+
+// Validate reports configuration errors.
+func (p Params) Validate() error {
+	if p.Eta <= 0 || p.EtaS <= 0 {
+		return fmt.Errorf("hermite: eta parameters must be positive (eta=%v etaS=%v)", p.Eta, p.EtaS)
+	}
+	if p.Eps < 0 {
+		return fmt.Errorf("hermite: negative softening %v", p.Eps)
+	}
+	if p.MinStep <= 0 || p.MaxStep < p.MinStep {
+		return fmt.Errorf("hermite: invalid step bounds [%v, %v]", p.MinStep, p.MaxStep)
+	}
+	if !isPow2(p.MinStep) || !isPow2(p.MaxStep) {
+		return fmt.Errorf("hermite: step bounds must be powers of two, got [%v, %v]", p.MinStep, p.MaxStep)
+	}
+	return nil
+}
+
+func isPow2(x float64) bool {
+	if x <= 0 {
+		return false
+	}
+	f, _ := math.Frexp(x)
+	return f == 0.5
+}
+
+// BlockStat describes one block step, the record consumed by the timing
+// simulator's trace input.
+type BlockStat struct {
+	Time float64 // system time of the block
+	Size int     // number of particles integrated in the block
+}
+
+// Integrator advances an N-body system with individual block timesteps.
+type Integrator struct {
+	Sys *nbody.System
+	B   Backend
+	P   Params
+
+	// T is the current system time (time of the last completed block).
+	T float64
+
+	// Counters for the paper's performance accounting.
+	Steps        int64 // individual particle steps
+	Blocks       int64 // block steps
+	Interactions int64 // pairwise interactions evaluated
+
+	// Trace, when non-nil, receives one BlockStat per block step.
+	Trace func(BlockStat)
+
+	// scratch buffers
+	block []int
+	ids   []int
+	xp    []vec.V3
+	vp    []vec.V3
+}
+
+// New initialises the integrator: it computes forces on all particles at
+// their current times (assumed equal), assigns startup timesteps and loads
+// the backend.
+func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	if sys.N == 0 {
+		return nil, fmt.Errorf("hermite: empty system")
+	}
+	t0 := sys.Time[0]
+	for _, t := range sys.Time {
+		if t != t0 {
+			return nil, fmt.Errorf("hermite: particles not synchronised at init (t=%v vs %v)", t, t0)
+		}
+	}
+
+	it := &Integrator{Sys: sys, B: b, P: p, T: t0}
+	b.Load(sys)
+
+	// Full force evaluation at the common initial time.
+	ids := make([]int, sys.N)
+	for i := range ids {
+		ids[i] = i
+	}
+	fs := b.Forces(t0, ids, sys.Pos, sys.Vel, p.Eps)
+	for i := 0; i < sys.N; i++ {
+		sys.Acc[i] = fs[i].Acc
+		sys.Jerk[i] = fs[i].Jerk
+		sys.Pot[i] = correctedPot(fs[i].Pot, sys.Mass[i], p.Eps)
+		sys.Snap[i] = vec.Zero
+		sys.Crack[i] = vec.Zero
+		sys.Time[i] = t0
+		sys.Step[i] = QuantizeInitial(InitialStep(fs[i].Acc, fs[i].Jerk, p.EtaS), p.MinStep, p.MaxStep)
+	}
+	it.Interactions += int64(sys.N) * int64(b.NJ())
+	b.Update(sys, ids)
+	return it, nil
+}
+
+// correctedPot removes the self-interaction term -m/ε that backends
+// include (as the hardware does) when ε > 0.
+func correctedPot(pot, m, eps float64) float64 {
+	if eps > 0 {
+		return pot + m/eps
+	}
+	return pot
+}
+
+// NextBlockTime returns the time of the next block to integrate.
+func (it *Integrator) NextBlockTime() float64 {
+	return it.Sys.MinTime()
+}
+
+// Step advances the system by one block step and returns its statistics.
+func (it *Integrator) Step() BlockStat {
+	sys := it.Sys
+	t := sys.MinTime()
+
+	// Select the block: particles whose next time equals t exactly. Times
+	// and steps are exact binary fractions, so equality is reliable.
+	it.block = it.block[:0]
+	for i := 0; i < sys.N; i++ {
+		if sys.Time[i]+sys.Step[i] == t {
+			it.block = append(it.block, i)
+		}
+	}
+
+	nb := len(it.block)
+	it.ids = it.ids[:0]
+	if cap(it.xp) < nb {
+		it.xp = make([]vec.V3, nb)
+		it.vp = make([]vec.V3, nb)
+	}
+	xp := it.xp[:nb]
+	vp := it.vp[:nb]
+	for k, i := range it.block {
+		it.ids = append(it.ids, sys.ID[i])
+		dt := t - sys.Time[i]
+		xp[k], vp[k] = Predict(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i], dt)
+	}
+
+	fs := it.B.Forces(t, it.ids, xp, vp, it.P.Eps)
+
+	for k, i := range it.block {
+		dt := t - sys.Time[i]
+		a0, j0 := sys.Acc[i], sys.Jerk[i]
+		a1, j1 := fs[k].Acc, fs[k].Jerk
+		x1, v1, snap1, crackle := Correct(sys.Pos[i], sys.Vel[i], a0, j0, a1, j1, dt)
+
+		sys.Pos[i] = x1
+		sys.Vel[i] = v1
+		sys.Acc[i] = a1
+		sys.Jerk[i] = j1
+		sys.Snap[i] = snap1
+		sys.Crack[i] = crackle
+		sys.Pot[i] = correctedPot(fs[k].Pot, sys.Mass[i], it.P.Eps)
+		sys.Time[i] = t
+
+		desired := AarsethStep(a1, j1, snap1, crackle, it.P.Eta)
+		sys.Step[i] = NextStep(sys.Step[i], desired, t, it.P.MinStep, it.P.MaxStep)
+	}
+
+	it.B.Update(sys, it.block)
+
+	it.T = t
+	it.Steps += int64(nb)
+	it.Blocks++
+	it.Interactions += int64(nb) * int64(it.B.NJ())
+
+	stat := BlockStat{Time: t, Size: nb}
+	if it.Trace != nil {
+		it.Trace(stat)
+	}
+	return stat
+}
+
+// Run advances the system until the next block time would exceed `until`.
+// On return every particle's individual time is ≤ until and the next block
+// lies beyond it.
+func (it *Integrator) Run(until float64) {
+	for it.NextBlockTime() <= until {
+		it.Step()
+	}
+}
+
+// Synchronize predicts every particle to time t and returns a snapshot
+// system with all particles at that common time. The integrator's own
+// state is not modified. Used for diagnostics (energy, snapshots).
+func (it *Integrator) Synchronize(t float64) *nbody.System {
+	snap := it.Sys.Clone()
+	for i := 0; i < snap.N; i++ {
+		dt := t - snap.Time[i]
+		snap.Pos[i], snap.Vel[i] = Predict(snap.Pos[i], snap.Vel[i], snap.Acc[i], snap.Jerk[i], snap.Snap[i], dt)
+		snap.Time[i] = t
+	}
+	return snap
+}
+
+// Energy returns the total energy of the system synchronized at the
+// current system time, using exact double-precision potential summation.
+func (it *Integrator) Energy() float64 {
+	snap := it.Synchronize(it.T)
+	return snap.TotalEnergy(it.P.Eps)
+}

@@ -1,0 +1,151 @@
+// Package kepler solves the two-body problem analytically: Kepler's
+// equation, orbital elements and time evolution. It supplies the exact
+// reference trajectories against which the Hermite integrator is
+// validated (a collisional N-body code lives or dies by how it handles
+// tight two-body motion, which is why the paper's machine computes exact
+// pairwise forces in the first place).
+package kepler
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/vec"
+)
+
+// Elements describes a bound planar orbit of the relative two-body
+// problem with gravitational parameter Mu = G(m1+m2).
+type Elements struct {
+	Mu    float64 // G(m1+m2)
+	A     float64 // semi-major axis
+	Ecc   float64 // eccentricity, in [0,1)
+	Tau   float64 // time of pericentre passage
+	Omega float64 // argument of pericentre in the orbital plane (radians)
+}
+
+// Validate reports element errors.
+func (el Elements) Validate() error {
+	if el.Mu <= 0 {
+		return fmt.Errorf("kepler: non-positive mu %v", el.Mu)
+	}
+	if el.A <= 0 {
+		return fmt.Errorf("kepler: non-positive semi-major axis %v", el.A)
+	}
+	if el.Ecc < 0 || el.Ecc >= 1 {
+		return fmt.Errorf("kepler: eccentricity %v outside [0,1)", el.Ecc)
+	}
+	return nil
+}
+
+// Period returns the orbital period 2π√(a³/μ).
+func (el Elements) Period() float64 {
+	return 2 * math.Pi * math.Sqrt(el.A*el.A*el.A/el.Mu)
+}
+
+// MeanMotion returns n = √(μ/a³).
+func (el Elements) MeanMotion() float64 {
+	return math.Sqrt(el.Mu / (el.A * el.A * el.A))
+}
+
+// SolveKepler solves M = E - e sin E for the eccentric anomaly E by
+// Newton iteration with a bisection fallback; accurate to ~1e-14 for all
+// e in [0, 1).
+func SolveKepler(meanAnomaly, e float64) float64 {
+	m := math.Mod(meanAnomaly, 2*math.Pi)
+	if m < 0 {
+		m += 2 * math.Pi
+	}
+	// Starter: E ≈ M + e sin M works well below e≈0.8; for high e near
+	// M≈0 use the cubic starter.
+	E := m + e*math.Sin(m)
+	if e > 0.8 {
+		E = math.Pi
+	}
+	for iter := 0; iter < 50; iter++ {
+		f := E - e*math.Sin(E) - m
+		fp := 1 - e*math.Cos(E)
+		dE := f / fp
+		E -= dE
+		if math.Abs(dE) < 1e-15 {
+			break
+		}
+	}
+	return E
+}
+
+// StateAt returns the relative position and velocity at time t, in the
+// orbital plane (z = 0).
+func (el Elements) StateAt(t float64) (pos, vel vec.V3) {
+	n := el.MeanMotion()
+	M := n * (t - el.Tau)
+	E := SolveKepler(M, el.Ecc)
+
+	cosE, sinE := math.Cos(E), math.Sin(E)
+	b := el.A * math.Sqrt(1-el.Ecc*el.Ecc)
+
+	// Perifocal coordinates.
+	x := el.A * (cosE - el.Ecc)
+	y := b * sinE
+	r := el.A * (1 - el.Ecc*cosE)
+	Edot := n * el.A / r
+	vx := -el.A * sinE * Edot
+	vy := b * cosE * Edot
+
+	// Rotate by the argument of pericentre.
+	c, s := math.Cos(el.Omega), math.Sin(el.Omega)
+	pos = vec.New(c*x-s*y, s*x+c*y, 0)
+	vel = vec.New(c*vx-s*vy, s*vx+c*vy, 0)
+	return pos, vel
+}
+
+// FromState recovers orbital elements from a relative state (planar
+// orbits only: the z components must vanish). Returns an error for
+// unbound or degenerate states.
+func FromState(mu float64, pos, vel vec.V3, t float64) (Elements, error) {
+	if mu <= 0 {
+		return Elements{}, fmt.Errorf("kepler: non-positive mu")
+	}
+	if math.Abs(pos.Z) > 1e-12 || math.Abs(vel.Z) > 1e-12 {
+		return Elements{}, fmt.Errorf("kepler: non-planar state")
+	}
+	r := pos.Norm()
+	v2 := vel.Norm2()
+	if r == 0 {
+		return Elements{}, fmt.Errorf("kepler: degenerate state r=0")
+	}
+	energy := v2/2 - mu/r
+	if energy >= 0 {
+		return Elements{}, fmt.Errorf("kepler: unbound orbit (E=%v)", energy)
+	}
+	a := -mu / (2 * energy)
+
+	// Eccentricity vector e = (v×h)/μ - r̂.
+	h := pos.Cross(vel)
+	evec := vel.Cross(h).Scale(1 / mu).Sub(pos.Unit())
+	e := evec.Norm()
+	if e >= 1 {
+		return Elements{}, fmt.Errorf("kepler: eccentricity %v ≥ 1", e)
+	}
+
+	el := Elements{Mu: mu, A: a, Ecc: e}
+	if e > 1e-12 {
+		el.Omega = math.Atan2(evec.Y, evec.X)
+	}
+
+	// Eccentric anomaly from r and the radial-velocity sign.
+	cosE := (1 - r/a) / math.Max(e, 1e-300)
+	if e <= 1e-12 {
+		// Circular orbit: measure the phase directly from position.
+		theta := math.Atan2(pos.Y, pos.X)
+		el.Tau = t - theta/el.MeanMotion()
+		return el, nil
+	}
+	cosE = math.Max(-1, math.Min(1, cosE))
+	E := math.Acos(cosE)
+	if pos.Dot(vel) < 0 {
+		E = 2*math.Pi - E
+	}
+	M := E - e*math.Sin(E)
+	el.Tau = t - M/el.MeanMotion()
+	return el, nil
+}

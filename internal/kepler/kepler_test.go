@@ -1,0 +1,173 @@
+package kepler
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/vec"
+)
+
+func TestValidate(t *testing.T) {
+	good := Elements{Mu: 1, A: 1, Ecc: 0.5}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Elements{
+		{Mu: 0, A: 1}, {Mu: 1, A: 0}, {Mu: 1, A: 1, Ecc: 1}, {Mu: 1, A: 1, Ecc: -0.1},
+	}
+	for i, el := range bad {
+		if err := el.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPeriodKeplerThirdLaw(t *testing.T) {
+	el := Elements{Mu: 1, A: 1}
+	if math.Abs(el.Period()-2*math.Pi) > 1e-14 {
+		t.Errorf("period = %v", el.Period())
+	}
+	el4 := Elements{Mu: 1, A: 4}
+	if r := el4.Period() / el.Period(); math.Abs(r-8) > 1e-12 {
+		t.Errorf("T(4a)/T(a) = %v, want 8", r)
+	}
+}
+
+func TestSolveKeplerExactness(t *testing.T) {
+	// E - e sin E must reproduce M for a grid of (M, e).
+	for _, e := range []float64{0, 0.1, 0.5, 0.9, 0.99} {
+		for k := 0; k < 32; k++ {
+			m := 2 * math.Pi * float64(k) / 32
+			E := SolveKepler(m, e)
+			back := E - e*math.Sin(E)
+			diff := math.Mod(back-m+3*math.Pi, 2*math.Pi) - math.Pi
+			if math.Abs(diff) > 1e-12 {
+				t.Fatalf("e=%v M=%v: residual %v", e, m, diff)
+			}
+		}
+	}
+}
+
+func TestPropSolveKepler(t *testing.T) {
+	f := func(mRaw, eRaw float64) bool {
+		m := math.Mod(math.Abs(mRaw), 2*math.Pi)
+		e := math.Mod(math.Abs(eRaw), 0.999)
+		if math.IsNaN(m) || math.IsNaN(e) {
+			return true
+		}
+		E := SolveKepler(m, e)
+		back := E - e*math.Sin(E)
+		diff := math.Mod(back-m+3*math.Pi, 2*math.Pi) - math.Pi
+		return math.Abs(diff) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStateAtConservesEnergy(t *testing.T) {
+	el := Elements{Mu: 1, A: 1.3, Ecc: 0.6, Omega: 0.7}
+	want := -el.Mu / (2 * el.A)
+	for k := 0; k < 20; k++ {
+		tt := el.Period() * float64(k) / 20
+		pos, vel := el.StateAt(tt)
+		got := vel.Norm2()/2 - el.Mu/pos.Norm()
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("t=%v: energy %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestStateAtPericentreApocentre(t *testing.T) {
+	el := Elements{Mu: 1, A: 2, Ecc: 0.5}
+	pos, _ := el.StateAt(0) // at tau: pericentre
+	if math.Abs(pos.Norm()-el.A*(1-el.Ecc)) > 1e-12 {
+		t.Errorf("pericentre r = %v", pos.Norm())
+	}
+	pos, _ = el.StateAt(el.Period() / 2)
+	if math.Abs(pos.Norm()-el.A*(1+el.Ecc)) > 1e-10 {
+		t.Errorf("apocentre r = %v", pos.Norm())
+	}
+}
+
+func TestFromStateRoundTrip(t *testing.T) {
+	orig := Elements{Mu: 2, A: 1.5, Ecc: 0.4, Omega: 1.1, Tau: 0.3}
+	for _, tt := range []float64{0.0, 0.9, 2.7} {
+		pos, vel := orig.StateAt(tt)
+		got, err := FromState(orig.Mu, pos, vel, tt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got.A-orig.A) > 1e-10 || math.Abs(got.Ecc-orig.Ecc) > 1e-10 {
+			t.Fatalf("t=%v: recovered a=%v e=%v", tt, got.A, got.Ecc)
+		}
+		// The recovered elements must predict the same state.
+		p2, v2 := got.StateAt(tt)
+		if p2.Dist(pos) > 1e-8 || v2.Dist(vel) > 1e-8 {
+			t.Fatalf("t=%v: state mismatch %v vs %v", tt, p2, pos)
+		}
+	}
+}
+
+func TestFromStateRejects(t *testing.T) {
+	if _, err := FromState(0, vec.New(1, 0, 0), vec.New(0, 1, 0), 0); err == nil {
+		t.Error("accepted mu=0")
+	}
+	if _, err := FromState(1, vec.New(1, 0, 0.5), vec.New(0, 1, 0), 0); err == nil {
+		t.Error("accepted non-planar state")
+	}
+	// Unbound: v ≫ escape speed.
+	if _, err := FromState(1, vec.New(1, 0, 0), vec.New(0, 5, 0), 0); err == nil {
+		t.Error("accepted unbound orbit")
+	}
+}
+
+// TestHermiteTracksKepler is the integrator-vs-analytic validation: a
+// Hermite run of an eccentric binary must follow the exact Kepler
+// trajectory over several orbits.
+func TestHermiteTracksKepler(t *testing.T) {
+	m1, m2, a, ecc := 0.6, 0.4, 1.0, 0.5
+	sys := model.TwoBodyEccentric(m1, m2, a, ecc)
+	mu := m1 + m2
+
+	// Elements of the initial relative orbit (starts at apocentre).
+	rel := sys.Pos[1].Sub(sys.Pos[0])
+	relv := sys.Vel[1].Sub(sys.Vel[0])
+	el, err := FromState(mu, rel, relv, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(el.A-a) > 1e-12 || math.Abs(el.Ecc-ecc) > 1e-12 {
+		t.Fatalf("initial elements a=%v e=%v", el.A, el.Ecc)
+	}
+
+	p := hermite.DefaultParams(0)
+	p.Eta = 0.01
+	p.EtaS = 0.005
+	it, err := hermite.New(sys, hermite.NewDirectBackend(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, frac := range []float64{0.25, 0.5, 1.0, 2.0} {
+		tt := frac * el.Period()
+		it.Run(tt)
+		snap := it.Synchronize(tt)
+		gotRel := snap.Pos[1].Sub(snap.Pos[0])
+		wantRel, _ := el.StateAt(tt)
+		if d := gotRel.Dist(wantRel); d > 2e-4*a {
+			t.Errorf("t=%.2fT: Hermite deviates from Kepler by %v", frac, d)
+		}
+	}
+}
+
+func BenchmarkSolveKepler(b *testing.B) {
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += SolveKepler(float64(i)*0.001, 0.7)
+	}
+	_ = s
+}

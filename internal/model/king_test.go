@@ -1,0 +1,185 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/xrand"
+)
+
+func TestNewKingRange(t *testing.T) {
+	if _, err := NewKing(0.1); err == nil {
+		t.Error("accepted W0=0.1")
+	}
+	if _, err := NewKing(20); err == nil {
+		t.Error("accepted W0=20")
+	}
+	for _, w0 := range []float64{1, 3, 6, 9} {
+		if _, err := NewKing(w0); err != nil {
+			t.Errorf("W0=%v: %v", w0, err)
+		}
+	}
+}
+
+func TestKingRhoShape(t *testing.T) {
+	if kingRho(0) != 0 || kingRho(-1) != 0 {
+		t.Error("density must vanish at and below w=0")
+	}
+	// Monotone increasing in w.
+	prev := 0.0
+	for _, w := range []float64{0.5, 1, 2, 4, 8} {
+		r := kingRho(w)
+		if r <= prev {
+			t.Errorf("kingRho not increasing at w=%v", w)
+		}
+		prev = r
+	}
+}
+
+func TestConcentrationGrowsWithW0(t *testing.T) {
+	// Deeper potentials make more concentrated clusters; c(W0) is the
+	// classic monotone King (1966) sequence: c≈0.67 at W0=3, c≈1.25 at
+	// W0=6, c≈2.1 at W0=9.
+	prev := 0.0
+	for _, w0 := range []float64{1, 3, 6, 9} {
+		k, err := NewKing(w0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := k.Concentration()
+		if c <= prev {
+			t.Errorf("concentration not increasing at W0=%v: %v", w0, c)
+		}
+		prev = c
+	}
+	// Spot-check against the King (1966) sequence.
+	k6, _ := NewKing(6)
+	if c := k6.Concentration(); math.Abs(c-1.25) > 0.15 {
+		t.Errorf("c(W0=6) = %v, King sequence ≈1.25", c)
+	}
+	k3, _ := NewKing(3)
+	if c := k3.Concentration(); math.Abs(c-0.67) > 0.12 {
+		t.Errorf("c(W0=3) = %v, King sequence ≈0.67", c)
+	}
+}
+
+func TestKingSampleHeggieUnits(t *testing.T) {
+	sys, err := King(2000, 6, xrand.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.TotalMass(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("mass = %v", got)
+	}
+	// E = -1/4 by construction of the rescaling.
+	if got := sys.TotalEnergy(0); math.Abs(got+0.25) > 1e-10 {
+		t.Errorf("energy = %v, want -0.25", got)
+	}
+	if com := sys.CenterOfMass(); com.MaxAbs() > 0.01 {
+		t.Errorf("COM = %v", com)
+	}
+}
+
+func TestKingNearVirial(t *testing.T) {
+	sys, err := King(4000, 5, xrand.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := sys.VirialRatio(0)
+	if q < 0.85 || q > 1.15 {
+		t.Errorf("virial ratio = %v, want ≈1", q)
+	}
+}
+
+func TestKingTidalTruncation(t *testing.T) {
+	k, err := NewKing(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := k.Sample(3000, xrand.New(3))
+	// After rescaling the cutoff persists: the radius distribution must
+	// have a hard edge — max radius within a factor ~1.3 of the 99th
+	// percentile (no isothermal tail).
+	radii := make([]float64, sys.N)
+	for i := range radii {
+		radii[i] = sys.Pos[i].Norm()
+	}
+	max, p99 := 0.0, 0.0
+	sorted := append([]float64(nil), radii...)
+	quickSortFloat(sorted)
+	max = sorted[len(sorted)-1]
+	p99 = sorted[len(sorted)*99/100]
+	if max > 1.5*p99 {
+		t.Errorf("no tidal edge: max radius %v vs p99 %v", max, p99)
+	}
+}
+
+func quickSortFloat(xs []float64) {
+	if len(xs) < 2 {
+		return
+	}
+	p := xs[len(xs)/2]
+	i, j := 0, len(xs)-1
+	for i <= j {
+		for xs[i] < p {
+			i++
+		}
+		for xs[j] > p {
+			j--
+		}
+		if i <= j {
+			xs[i], xs[j] = xs[j], xs[i]
+			i++
+			j--
+		}
+	}
+	quickSortFloat(xs[:j+1])
+	quickSortFloat(xs[i:])
+}
+
+func TestKingMoreConcentratedThanLowW0(t *testing.T) {
+	// Half-mass radius over 90%-mass radius shrinks with W0.
+	ratioFor := func(w0 float64) float64 {
+		sys, err := King(3000, w0, xrand.New(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		radii := make([]float64, sys.N)
+		for i := range radii {
+			radii[i] = sys.Pos[i].Norm()
+		}
+		quickSortFloat(radii)
+		return radii[sys.N/2] / radii[sys.N*9/10]
+	}
+	if r1, r9 := ratioFor(1), ratioFor(9); r9 >= r1 {
+		t.Errorf("W0=9 not more concentrated: %v vs %v", r9, r1)
+	}
+}
+
+func TestKingDeterministic(t *testing.T) {
+	a, err := King(200, 6, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := King(200, 6, xrand.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.N; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("non-deterministic sampling at %d", i)
+		}
+	}
+}
+
+func BenchmarkKingSample(b *testing.B) {
+	k, err := NewKing(6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := xrand.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Sample(500, rng)
+	}
+}

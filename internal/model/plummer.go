@@ -1,0 +1,238 @@
+// Package model generates the initial conditions used by the paper's
+// benchmarks and applications: the equal-mass Plummer model (Section 4),
+// the Plummer model with embedded "black hole" particles (Section 5's
+// binary-black-hole run), and a planetesimal disk standing in for the
+// early-Kuiper-belt setup of Makino et al. (2003) (Section 5's first
+// application).
+package model
+
+import (
+	"math"
+
+	"grape6/internal/nbody"
+	"grape6/internal/units"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+// Plummer samples an equal-mass Plummer sphere in Heggie units (G = 1,
+// M = 1, E = -1/4), using the classic Aarseth, Hénon & Wielen (1974)
+// rejection method for the velocity distribution. The result is centred on
+// the origin with zero net momentum.
+func Plummer(n int, rng *xrand.Source) *nbody.System {
+	s := nbody.New(n)
+	m := units.TotalMass / float64(n)
+
+	// Structural length scale a such that the total energy of the model is
+	// -1/4 in virial units: a = 3π/16.
+	const scale = 3 * math.Pi / 16
+
+	for i := 0; i < n; i++ {
+		s.Mass[i] = m
+
+		// Radius from the cumulative mass profile M(r) = r³/(1+r²)^{3/2}
+		// (Plummer units), inverted: r = (u^{-2/3} - 1)^{-1/2}.
+		var r float64
+		for {
+			u := rng.Float64()
+			if u == 0 {
+				continue
+			}
+			r = 1 / math.Sqrt(math.Pow(u, -2.0/3.0)-1)
+			// Truncate the model at 10 structural radii to avoid rare
+			// extreme outliers that dominate the timestep distribution.
+			if r < 10 {
+				break
+			}
+		}
+		x, y, z := rng.OnSphere()
+		s.Pos[i] = vec.New(x*r, y*r, z*r)
+
+		// Speed from the isotropic distribution function: sample
+		// q = v/v_esc with density g(q) ∝ q²(1-q²)^{7/2} by rejection.
+		var q float64
+		for {
+			q = rng.Float64()
+			g := rng.Float64() * 0.1
+			if g < q*q*math.Pow(1-q*q, 3.5) {
+				break
+			}
+		}
+		vesc := math.Sqrt2 * math.Pow(1+r*r, -0.25)
+		v := q * vesc
+		vx, vy, vz := rng.OnSphere()
+		s.Vel[i] = vec.New(vx*v, vy*v, vz*v)
+	}
+
+	// Convert from Plummer natural units to Heggie units.
+	for i := 0; i < n; i++ {
+		s.Pos[i] = s.Pos[i].Scale(scale)
+		s.Vel[i] = s.Vel[i].Scale(1 / math.Sqrt(scale))
+	}
+
+	s.CenterOnOrigin()
+	return s
+}
+
+// PlummerWithBlackHoles builds the Section 5 binary-black-hole initial
+// model: a standard Plummer sphere of n field particles plus two massive
+// point-mass particles ("black holes"), each carrying bhMassFraction of the
+// total system mass (the paper used 0.5%). The black holes are placed
+// symmetrically at radius bhRadius on the x axis with tangential velocities
+// approximating circular orbits in the Plummer potential.
+func PlummerWithBlackHoles(n int, bhMassFraction, bhRadius float64, rng *xrand.Source) *nbody.System {
+	field := Plummer(n, rng)
+	s := nbody.New(n + 2)
+	// Field particles keep unit total mass; the black holes are added on
+	// top, as in the paper ("mass 0.5% of the total mass of the system").
+	copy(s.Mass, field.Mass)
+	copy(s.Pos, field.Pos)
+	copy(s.Vel, field.Vel)
+
+	mbh := bhMassFraction * units.TotalMass
+	// Enclosed Plummer mass at r (structural radius a = 3π/16).
+	a := 3 * math.Pi / 16
+	r := bhRadius
+	menc := units.TotalMass * r * r * r / math.Pow(r*r+a*a, 1.5)
+	vcirc := math.Sqrt(menc / r)
+
+	s.Mass[n] = mbh
+	s.Pos[n] = vec.New(r, 0, 0)
+	s.Vel[n] = vec.New(0, vcirc, 0)
+
+	s.Mass[n+1] = mbh
+	s.Pos[n+1] = vec.New(-r, 0, 0)
+	s.Vel[n+1] = vec.New(0, -vcirc, 0)
+
+	s.CenterOnOrigin()
+	return s
+}
+
+// DiskConfig parameterises the planetesimal-disk generator.
+type DiskConfig struct {
+	N        int     // number of planetesimals
+	RInner   float64 // inner edge of the annulus
+	ROuter   float64 // outer edge of the annulus
+	MCentral float64 // mass of the central star (G = 1)
+	MDisk    float64 // total disk mass
+	Ecc      float64 // RMS eccentricity excitation
+	Inc      float64 // RMS inclination (radians)
+}
+
+// DefaultKuiperDisk returns the configuration used for the Kuiper-belt
+// style application run: a thin annulus of equal-mass planetesimals around
+// a dominant central mass, surface density Σ ∝ r^{-3/2}.
+func DefaultKuiperDisk(n int) DiskConfig {
+	return DiskConfig{
+		N:        n,
+		RInner:   1.0,
+		ROuter:   1.5,
+		MCentral: 1.0,
+		MDisk:    1e-4,
+		Ecc:      0.01,
+		Inc:      0.005,
+	}
+}
+
+// Disk samples a planetesimal disk: a central star (particle 0) plus N
+// equal-mass planetesimals on near-circular, near-planar Keplerian orbits,
+// radial distribution following Σ ∝ r^{-3/2} (so cumulative mass ∝ r^{1/2}).
+func Disk(cfg DiskConfig, rng *xrand.Source) *nbody.System {
+	s := nbody.New(cfg.N + 1)
+	s.Mass[0] = cfg.MCentral
+	s.Pos[0] = vec.Zero
+	s.Vel[0] = vec.Zero
+
+	mp := cfg.MDisk / float64(cfg.N)
+	sqIn := math.Sqrt(cfg.RInner)
+	sqOut := math.Sqrt(cfg.ROuter)
+	for i := 1; i <= cfg.N; i++ {
+		s.Mass[i] = mp
+
+		// Σ ∝ r^{-3/2} ⇒ P(<r) ∝ √r - √R_in.
+		u := rng.Float64()
+		r := sq(sqIn + u*(sqOut-sqIn))
+		phi := rng.Uniform(0, 2*math.Pi)
+
+		// Rayleigh-distributed eccentricity and inclination excitations.
+		e := cfg.Ecc * math.Sqrt(rng.Exp())
+		inc := cfg.Inc * math.Sqrt(rng.Exp())
+
+		vk := math.Sqrt(cfg.MCentral / r)
+		cosp, sinp := math.Cos(phi), math.Sin(phi)
+
+		// Position in the plane plus a small vertical excursion.
+		zphase := rng.Uniform(0, 2*math.Pi)
+		s.Pos[i] = vec.New(r*cosp, r*sinp, r*inc*math.Sin(zphase))
+
+		// Circular velocity with small radial/vertical perturbations that
+		// mimic eccentricity e and inclination inc.
+		vr := e * vk * math.Cos(zphase+phi)
+		vz := inc * vk * math.Cos(zphase)
+		s.Vel[i] = vec.New(
+			-vk*sinp+vr*cosp,
+			vk*cosp+vr*sinp,
+			vz,
+		)
+	}
+	return s
+}
+
+func sq(x float64) float64 { return x * x }
+
+// ColdSphere returns n equal-mass particles uniformly filling a sphere of
+// the given radius, at rest. Used for collapse tests and failure-injection
+// scenarios (it develops very small timesteps at collapse).
+func ColdSphere(n int, radius float64, rng *xrand.Source) *nbody.System {
+	s := nbody.New(n)
+	m := units.TotalMass / float64(n)
+	for i := 0; i < n; i++ {
+		s.Mass[i] = m
+		// Uniform in volume: r ∝ u^{1/3}.
+		r := radius * math.Cbrt(rng.Float64())
+		x, y, z := rng.OnSphere()
+		s.Pos[i] = vec.New(x*r, y*r, z*r)
+	}
+	s.CenterOnOrigin()
+	return s
+}
+
+// TwoBodyCircular returns two bodies of mass m1 and m2 on a circular orbit
+// of separation d about their barycentre, in the xy plane. It is the
+// primary integrator-validation workload: energy, angular momentum and the
+// orbital period 2π√(d³/(G(m1+m2))) are known exactly.
+func TwoBodyCircular(m1, m2, d float64) *nbody.System {
+	s := nbody.New(2)
+	mtot := m1 + m2
+	s.Mass[0], s.Mass[1] = m1, m2
+	// Barycentric positions.
+	s.Pos[0] = vec.New(-d*m2/mtot, 0, 0)
+	s.Pos[1] = vec.New(d*m1/mtot, 0, 0)
+	// Relative circular speed v = sqrt(G mtot / d), split by mass ratio.
+	v := math.Sqrt(units.G * mtot / d)
+	s.Vel[0] = vec.New(0, -v*m2/mtot, 0)
+	s.Vel[1] = vec.New(0, v*m1/mtot, 0)
+	return s
+}
+
+// TwoBodyEccentric returns two bodies at apocentre of an orbit with
+// semi-major axis a and eccentricity e.
+func TwoBodyEccentric(m1, m2, a, e float64) *nbody.System {
+	s := nbody.New(2)
+	mtot := m1 + m2
+	ra := a * (1 + e) // apocentre separation
+	s.Mass[0], s.Mass[1] = m1, m2
+	s.Pos[0] = vec.New(-ra*m2/mtot, 0, 0)
+	s.Pos[1] = vec.New(ra*m1/mtot, 0, 0)
+	// Vis-viva at apocentre: v² = G mtot (2/ra - 1/a).
+	v := math.Sqrt(units.G * mtot * (2/ra - 1/a))
+	s.Vel[0] = vec.New(0, -v*m2/mtot, 0)
+	s.Vel[1] = vec.New(0, v*m1/mtot, 0)
+	return s
+}
+
+// OrbitalPeriod returns the Kepler period for total mass mtot and
+// semi-major axis a (G = 1).
+func OrbitalPeriod(mtot, a float64) float64 {
+	return 2 * math.Pi * math.Sqrt(a*a*a/(units.G*mtot))
+}

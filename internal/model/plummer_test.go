@@ -1,0 +1,246 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+func TestPlummerBasicInvariants(t *testing.T) {
+	s := Plummer(1000, xrand.New(1))
+	if s.N != 1000 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid system: %v", err)
+	}
+	if got := s.TotalMass(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("total mass = %v", got)
+	}
+	if com := s.CenterOfMass(); com.MaxAbs() > 1e-12 {
+		t.Errorf("COM = %v", com)
+	}
+	if cov := s.CenterOfMassVelocity(); cov.MaxAbs() > 1e-12 {
+		t.Errorf("COM velocity = %v", cov)
+	}
+}
+
+func TestPlummerVirial(t *testing.T) {
+	// A sampled Plummer model should be close to virial equilibrium:
+	// |2T/W| ≈ 1 within sampling noise.
+	s := Plummer(4000, xrand.New(2))
+	q := s.VirialRatio(0)
+	if q < 0.9 || q > 1.1 {
+		t.Errorf("virial ratio = %v, want ≈1", q)
+	}
+}
+
+func TestPlummerEnergy(t *testing.T) {
+	// In Heggie units the total energy should be ≈ -1/4.
+	s := Plummer(4000, xrand.New(3))
+	e := s.TotalEnergy(0)
+	if math.Abs(e-units.TotalEnergy) > 0.04 {
+		t.Errorf("total energy = %v, want ≈ %v", e, units.TotalEnergy)
+	}
+}
+
+func TestPlummerDeterministic(t *testing.T) {
+	a := Plummer(100, xrand.New(7))
+	b := Plummer(100, xrand.New(7))
+	for i := 0; i < 100; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] {
+			t.Fatalf("particle %d differs between equal-seed samples", i)
+		}
+	}
+}
+
+func TestPlummerHalfMassRadius(t *testing.T) {
+	// Plummer half-mass radius is ≈1.3a with a = 3π/16 ≈ 0.589,
+	// i.e. ≈0.77 in Heggie units.
+	s := Plummer(8000, xrand.New(5))
+	radii := make([]float64, s.N)
+	for i := range radii {
+		radii[i] = s.Pos[i].Norm()
+	}
+	// Median radius.
+	med := quickSelectMedian(radii)
+	if med < 0.6 || med > 0.95 {
+		t.Errorf("half-mass radius = %v, want ≈0.77", med)
+	}
+}
+
+func quickSelectMedian(xs []float64) float64 {
+	c := append([]float64(nil), xs...)
+	k := len(c) / 2
+	lo, hi := 0, len(c)-1
+	for lo < hi {
+		p := c[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for c[i] < p {
+				i++
+			}
+			for c[j] > p {
+				j--
+			}
+			if i <= j {
+				c[i], c[j] = c[j], c[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return c[k]
+}
+
+func TestPlummerTruncation(t *testing.T) {
+	s := Plummer(5000, xrand.New(11))
+	a := 3 * math.Pi / 16
+	for i := 0; i < s.N; i++ {
+		if r := s.Pos[i].Norm(); r > 10*a*1.5 {
+			t.Errorf("particle %d at radius %v beyond truncation", i, r)
+		}
+	}
+}
+
+func TestPlummerWithBlackHoles(t *testing.T) {
+	s := PlummerWithBlackHoles(1000, 0.005, 0.3, xrand.New(1))
+	if s.N != 1002 {
+		t.Fatalf("N = %d", s.N)
+	}
+	// Black holes are the last two particles and are much heavier.
+	if s.Mass[1000] != 0.005 || s.Mass[1001] != 0.005 {
+		t.Errorf("BH masses = %v, %v", s.Mass[1000], s.Mass[1001])
+	}
+	// At the paper's N = 2M a 0.5% black hole is 10^4 field masses; at this
+	// test's N it is 5x. Just require it to dominate a field particle.
+	fieldMass := s.Mass[0]
+	if s.Mass[1000] <= 2*fieldMass {
+		t.Error("BH not heavier than field particles")
+	}
+	if com := s.CenterOfMass(); com.MaxAbs() > 1e-12 {
+		t.Errorf("COM = %v", com)
+	}
+}
+
+func TestDiskBasic(t *testing.T) {
+	cfg := DefaultKuiperDisk(500)
+	s := Disk(cfg, xrand.New(1))
+	if s.N != 501 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if s.Mass[0] != 1.0 {
+		t.Errorf("central mass = %v", s.Mass[0])
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("invalid disk: %v", err)
+	}
+}
+
+func TestDiskAnnulus(t *testing.T) {
+	cfg := DefaultKuiperDisk(2000)
+	s := Disk(cfg, xrand.New(2))
+	for i := 1; i < s.N; i++ {
+		r := math.Hypot(s.Pos[i].X, s.Pos[i].Y)
+		if r < cfg.RInner-1e-9 || r > cfg.ROuter+1e-9 {
+			t.Fatalf("planetesimal %d at cylindrical radius %v outside [%v,%v]",
+				i, r, cfg.RInner, cfg.ROuter)
+		}
+	}
+}
+
+func TestDiskNearKeplerian(t *testing.T) {
+	cfg := DefaultKuiperDisk(1000)
+	s := Disk(cfg, xrand.New(3))
+	for i := 1; i < s.N; i++ {
+		r := s.Pos[i].Norm()
+		vk := math.Sqrt(cfg.MCentral / r)
+		v := s.Vel[i].Norm()
+		if math.Abs(v-vk)/vk > 0.1 {
+			t.Fatalf("planetesimal %d speed %v deviates >10%% from Keplerian %v", i, v, vk)
+		}
+	}
+}
+
+func TestDiskThin(t *testing.T) {
+	cfg := DefaultKuiperDisk(1000)
+	s := Disk(cfg, xrand.New(4))
+	for i := 1; i < s.N; i++ {
+		if math.Abs(s.Pos[i].Z) > 0.2 {
+			t.Fatalf("planetesimal %d height %v too large for thin disk", i, s.Pos[i].Z)
+		}
+	}
+}
+
+func TestColdSphere(t *testing.T) {
+	s := ColdSphere(1000, 2.0, xrand.New(1))
+	if got := s.TotalMass(); math.Abs(got-1) > 1e-12 {
+		t.Errorf("total mass = %v", got)
+	}
+	if ke := s.KineticEnergy(); ke != 0 {
+		t.Errorf("cold sphere has kinetic energy %v", ke)
+	}
+	for i := 0; i < s.N; i++ {
+		// Centering shifts slightly; allow small slack beyond radius.
+		if r := s.Pos[i].Norm(); r > 2.2 {
+			t.Fatalf("particle %d outside sphere: r=%v", i, r)
+		}
+	}
+}
+
+func TestTwoBodyCircularEnergy(t *testing.T) {
+	s := TwoBodyCircular(0.5, 0.5, 1.0)
+	// E = -G m1 m2 / (2a) with a = d for circular orbit.
+	want := -0.5 * 0.5 / 2.0
+	if got := s.TotalEnergy(0); math.Abs(got-want) > 1e-14 {
+		t.Errorf("two-body energy = %v, want %v", got, want)
+	}
+	if com := s.CenterOfMass(); com.MaxAbs() > 1e-15 {
+		t.Errorf("COM = %v", com)
+	}
+	if cov := s.CenterOfMassVelocity(); cov.MaxAbs() > 1e-15 {
+		t.Errorf("COM velocity = %v", cov)
+	}
+}
+
+func TestTwoBodyEccentricApocentre(t *testing.T) {
+	a, e := 1.0, 0.5
+	s := TwoBodyEccentric(0.5, 0.5, a, e)
+	sep := s.Pos[0].Dist(s.Pos[1])
+	if math.Abs(sep-a*(1+e)) > 1e-14 {
+		t.Errorf("apocentre separation = %v, want %v", sep, a*(1+e))
+	}
+	// Energy must equal -G m1 m2/(2a) regardless of eccentricity.
+	want := -0.5 * 0.5 / (2 * a)
+	if got := s.TotalEnergy(0); math.Abs(got-want) > 1e-14 {
+		t.Errorf("energy = %v, want %v", got, want)
+	}
+}
+
+func TestOrbitalPeriod(t *testing.T) {
+	// Unit mass, unit semi-major axis: T = 2π.
+	if got := OrbitalPeriod(1, 1); math.Abs(got-2*math.Pi) > 1e-14 {
+		t.Errorf("period = %v", got)
+	}
+	// Kepler's third law: T² ∝ a³.
+	r := OrbitalPeriod(1, 4) / OrbitalPeriod(1, 1)
+	if math.Abs(r-8) > 1e-12 {
+		t.Errorf("period ratio = %v, want 8", r)
+	}
+}
+
+func BenchmarkPlummer(b *testing.B) {
+	rng := xrand.New(1)
+	for i := 0; i < b.N; i++ {
+		Plummer(1000, rng)
+	}
+}

@@ -1,0 +1,214 @@
+// Package netboard models the GRAPE-6 network board (Figures 2-3 of the
+// paper): the switching fabric that connects each host to its four
+// processor boards over LVDS/FPD-Link serial channels, cross-links the
+// four network boards of a cluster, and — through its input-select
+// switches — lets a cluster be partitioned into independent sub-units
+// ("we can use a cluster as a single unit or as multiple units").
+//
+// The package provides the wiring model, partition validation, and the
+// broadcast/reduction timing over the serial links, complementing the
+// pipeline-level cycle accounting in internal/board.
+package netboard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Link is the LVDS/FPD-Link serial channel of Section 3.3: "four
+// twisted-pair differential signal lines (three for signals and one for
+// clock)" over category-5 cable up to about 5 m.
+type Link struct {
+	Bandwidth float64 // payload bytes per second
+	HopDelay  float64 // per-hop serializer/deserializer latency, seconds
+}
+
+// DefaultLink models the FPD-Link at 3 data pairs × 7 bits × 66 MHz
+// ≈ 1.39 Gbit/s ≈ 170 MB/s, with ~1 µs of SerDes latency per hop.
+var DefaultLink = Link{Bandwidth: 170e6, HopDelay: 1e-6}
+
+// Validate reports profile errors.
+func (l Link) Validate() error {
+	if l.Bandwidth <= 0 || l.HopDelay < 0 {
+		return fmt.Errorf("netboard: invalid link %+v", l)
+	}
+	return nil
+}
+
+// Cluster is one GRAPE-6 cluster's wiring: Hosts network boards (one per
+// host), each hardwired to BoardsPerNB processor boards, with the network
+// boards fully cross-linked (Figure 2).
+type Cluster struct {
+	Hosts       int // network boards = hosts (production: 4)
+	BoardsPerNB int // processor boards per network board (production: 4)
+	Link        Link
+}
+
+// Production is the paper's cluster: 4 hosts × 4 boards.
+var Production = Cluster{Hosts: 4, BoardsPerNB: 4, Link: DefaultLink}
+
+// Validate reports configuration errors.
+func (c Cluster) Validate() error {
+	if c.Hosts <= 0 || c.BoardsPerNB <= 0 {
+		return fmt.Errorf("netboard: non-positive cluster shape %d/%d", c.Hosts, c.BoardsPerNB)
+	}
+	return c.Link.Validate()
+}
+
+// Boards returns the number of processor boards in the cluster.
+func (c Cluster) Boards() int { return c.Hosts * c.BoardsPerNB }
+
+// HomeNB returns the network board a processor board is hardwired to.
+func (c Cluster) HomeNB(boardID int) int { return boardID / c.BoardsPerNB }
+
+// Hops returns the number of serial hops from a host to a processor
+// board: 1 through the host's own network board, 2 when the board hangs
+// off a peer network board (one cross-link plus the local fan-out).
+func (c Cluster) Hops(host, boardID int) (int, error) {
+	if host < 0 || host >= c.Hosts {
+		return 0, fmt.Errorf("netboard: host %d out of range", host)
+	}
+	if boardID < 0 || boardID >= c.Boards() {
+		return 0, fmt.Errorf("netboard: board %d out of range", boardID)
+	}
+	if c.HomeNB(boardID) == host {
+		return 1, nil
+	}
+	return 2, nil
+}
+
+// Unit is one partition element: a set of hosts driving a set of boards.
+type Unit struct {
+	Hosts  []int
+	Boards []int
+}
+
+// Partition divides the cluster into independently usable sub-units — the
+// capability the paper added "by attaching a simple switching network
+// before [the] memory interface".
+type Partition struct {
+	Units []Unit
+}
+
+// WholeCluster returns the single-unit partition using everything.
+func (c Cluster) WholeCluster() Partition {
+	u := Unit{}
+	for h := 0; h < c.Hosts; h++ {
+		u.Hosts = append(u.Hosts, h)
+	}
+	for b := 0; b < c.Boards(); b++ {
+		u.Boards = append(u.Boards, b)
+	}
+	return Partition{Units: []Unit{u}}
+}
+
+// PerHost returns the fully split partition: each host with its own
+// hardwired boards (the r² single host-GRAPE pairs of Section 3.2).
+func (c Cluster) PerHost() Partition {
+	var p Partition
+	for h := 0; h < c.Hosts; h++ {
+		u := Unit{Hosts: []int{h}}
+		for k := 0; k < c.BoardsPerNB; k++ {
+			u.Boards = append(u.Boards, h*c.BoardsPerNB+k)
+		}
+		p.Units = append(p.Units, u)
+	}
+	return p
+}
+
+// ValidatePartition checks that a partition is realisable on the wiring:
+// every host and board used exactly once, units non-empty, and each
+// unit's board count divisible by its host count (the 2D grid needs equal
+// columns per host).
+func (c Cluster) ValidatePartition(p Partition) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	if len(p.Units) == 0 {
+		return fmt.Errorf("netboard: empty partition")
+	}
+	seenH := make(map[int]bool)
+	seenB := make(map[int]bool)
+	for ui, u := range p.Units {
+		if len(u.Hosts) == 0 || len(u.Boards) == 0 {
+			return fmt.Errorf("netboard: unit %d empty", ui)
+		}
+		if len(u.Boards)%len(u.Hosts) != 0 {
+			return fmt.Errorf("netboard: unit %d has %d boards for %d hosts (not divisible)",
+				ui, len(u.Boards), len(u.Hosts))
+		}
+		for _, h := range u.Hosts {
+			if h < 0 || h >= c.Hosts {
+				return fmt.Errorf("netboard: unit %d references host %d out of range", ui, h)
+			}
+			if seenH[h] {
+				return fmt.Errorf("netboard: host %d in multiple units", h)
+			}
+			seenH[h] = true
+		}
+		for _, b := range u.Boards {
+			if b < 0 || b >= c.Boards() {
+				return fmt.Errorf("netboard: unit %d references board %d out of range", ui, b)
+			}
+			if seenB[b] {
+				return fmt.Errorf("netboard: board %d in multiple units", b)
+			}
+			seenB[b] = true
+		}
+	}
+	if len(seenH) != c.Hosts {
+		return fmt.Errorf("netboard: %d of %d hosts unassigned", c.Hosts-len(seenH), c.Hosts)
+	}
+	if len(seenB) != c.Boards() {
+		return fmt.Errorf("netboard: %d of %d boards unassigned", c.Boards()-len(seenB), c.Boards())
+	}
+	return nil
+}
+
+// BroadcastTime returns the time for one host of the unit to broadcast
+// `bytes` to all the unit's boards: the payload is serialized once per
+// distinct hop distance (the fabric forwards in parallel), so the cost is
+// the serialization plus the deepest hop chain.
+func (c Cluster) BroadcastTime(host int, u Unit, bytes int) (float64, error) {
+	maxHops := 0
+	for _, b := range u.Boards {
+		h, err := c.Hops(host, b)
+		if err != nil {
+			return 0, err
+		}
+		if h > maxHops {
+			maxHops = h
+		}
+	}
+	return float64(bytes)/c.Link.Bandwidth + float64(maxHops)*c.Link.HopDelay, nil
+}
+
+// ReduceTime returns the time to combine per-board partial results back to
+// the host: the FPGA adders merge in the fabric, so the cost is one
+// payload serialization plus the deepest hop chain (symmetric with
+// broadcast on this full-duplex link).
+func (c Cluster) ReduceTime(host int, u Unit, bytes int) (float64, error) {
+	return c.BroadcastTime(host, u, bytes)
+}
+
+// UnitPeak returns the unit's fraction of the cluster's boards — the
+// performance share a partition grants (flexibility-vs-capability, the
+// Section 3.2 trade).
+func (c Cluster) UnitPeak(u Unit) float64 {
+	return float64(len(u.Boards)) / float64(c.Boards())
+}
+
+// Describe renders the wiring and partition for topology inspection.
+func (c Cluster) Describe(p Partition) string {
+	s := fmt.Sprintf("cluster: %d hosts, %d processor boards (%d per network board)\n",
+		c.Hosts, c.Boards(), c.BoardsPerNB)
+	for ui, u := range p.Units {
+		hs := append([]int(nil), u.Hosts...)
+		bs := append([]int(nil), u.Boards...)
+		sort.Ints(hs)
+		sort.Ints(bs)
+		s += fmt.Sprintf("  unit %d: hosts %v boards %v (%.0f%% of peak)\n",
+			ui, hs, bs, 100*c.UnitPeak(u))
+	}
+	return s
+}

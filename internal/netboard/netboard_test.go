@@ -1,0 +1,205 @@
+package netboard
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProductionValid(t *testing.T) {
+	if err := Production.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if Production.Boards() != 16 {
+		t.Errorf("production cluster boards = %d, want 16", Production.Boards())
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	c := Production
+	c.Hosts = 0
+	if err := c.Validate(); err == nil {
+		t.Error("accepted zero hosts")
+	}
+	c = Production
+	c.Link.Bandwidth = 0
+	if err := c.Validate(); err == nil {
+		t.Error("accepted zero bandwidth")
+	}
+}
+
+func TestHomeNBAndHops(t *testing.T) {
+	c := Production
+	if c.HomeNB(0) != 0 || c.HomeNB(3) != 0 || c.HomeNB(4) != 1 || c.HomeNB(15) != 3 {
+		t.Error("HomeNB wiring wrong")
+	}
+	h, err := c.Hops(0, 2)
+	if err != nil || h != 1 {
+		t.Errorf("own-board hops = %d (%v)", h, err)
+	}
+	h, err = c.Hops(0, 7)
+	if err != nil || h != 2 {
+		t.Errorf("peer-board hops = %d (%v)", h, err)
+	}
+	if _, err := c.Hops(9, 0); err == nil {
+		t.Error("accepted out-of-range host")
+	}
+	if _, err := c.Hops(0, 99); err == nil {
+		t.Error("accepted out-of-range board")
+	}
+}
+
+func TestWholeClusterPartition(t *testing.T) {
+	c := Production
+	p := c.WholeCluster()
+	if err := c.ValidatePartition(p); err != nil {
+		t.Fatalf("whole-cluster partition invalid: %v", err)
+	}
+	if len(p.Units) != 1 || len(p.Units[0].Boards) != 16 {
+		t.Errorf("whole cluster shape wrong: %+v", p)
+	}
+	if got := c.UnitPeak(p.Units[0]); got != 1.0 {
+		t.Errorf("whole-cluster peak share = %v", got)
+	}
+}
+
+func TestPerHostPartition(t *testing.T) {
+	c := Production
+	p := c.PerHost()
+	if err := c.ValidatePartition(p); err != nil {
+		t.Fatalf("per-host partition invalid: %v", err)
+	}
+	if len(p.Units) != 4 {
+		t.Fatalf("units = %d", len(p.Units))
+	}
+	for ui, u := range p.Units {
+		if len(u.Hosts) != 1 || len(u.Boards) != 4 {
+			t.Errorf("unit %d shape: %+v", ui, u)
+		}
+		if got := c.UnitPeak(u); math.Abs(got-0.25) > 1e-12 {
+			t.Errorf("unit %d peak share = %v", ui, got)
+		}
+		// All boards in a per-host unit are 1 hop from the host.
+		for _, b := range u.Boards {
+			if h, _ := c.Hops(u.Hosts[0], b); h != 1 {
+				t.Errorf("per-host unit board %d is %d hops away", b, h)
+			}
+		}
+	}
+}
+
+func TestPartitionValidationCatches(t *testing.T) {
+	c := Production
+	cases := []struct {
+		name string
+		p    Partition
+	}{
+		{"empty", Partition{}},
+		{"empty unit", Partition{Units: []Unit{{}}}},
+		{"duplicate host", Partition{Units: []Unit{
+			{Hosts: []int{0, 0, 1, 2, 3}, Boards: rangeInts(0, 15)},
+		}}},
+		{"duplicate board", Partition{Units: []Unit{
+			{Hosts: []int{0, 1, 2, 3}, Boards: append(rangeInts(0, 14), 0)},
+		}}},
+		{"missing board", Partition{Units: []Unit{
+			{Hosts: []int{0, 1, 2, 3}, Boards: rangeInts(0, 11)},
+		}}},
+		{"non-divisible", Partition{Units: []Unit{
+			{Hosts: []int{0, 1, 2}, Boards: rangeInts(0, 15)},
+			{Hosts: []int{3}, Boards: []int{}},
+		}}},
+		{"out of range host", Partition{Units: []Unit{
+			{Hosts: []int{0, 1, 2, 7}, Boards: rangeInts(0, 15)},
+		}}},
+	}
+	for _, tc := range cases {
+		if err := c.ValidatePartition(tc.p); err == nil {
+			t.Errorf("%s: accepted invalid partition", tc.name)
+		}
+	}
+}
+
+func rangeInts(lo, hi int) []int {
+	var out []int
+	for i := lo; i <= hi; i++ {
+		out = append(out, i)
+	}
+	return out
+}
+
+func TestTwoUnitSplit(t *testing.T) {
+	// 2 hosts + 8 boards per unit: a legal half-and-half split.
+	c := Production
+	p := Partition{Units: []Unit{
+		{Hosts: []int{0, 1}, Boards: rangeInts(0, 7)},
+		{Hosts: []int{2, 3}, Boards: rangeInts(8, 15)},
+	}}
+	if err := c.ValidatePartition(p); err != nil {
+		t.Fatalf("half split invalid: %v", err)
+	}
+	if got := c.UnitPeak(p.Units[0]); got != 0.5 {
+		t.Errorf("half-unit peak = %v", got)
+	}
+}
+
+func TestBroadcastTiming(t *testing.T) {
+	c := Production
+	whole := c.WholeCluster().Units[0]
+	own := c.PerHost().Units[0]
+
+	// Whole-cluster broadcast reaches peer network boards: 2 hops.
+	tw, err := c.BroadcastTime(0, whole, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1000/c.Link.Bandwidth + 2*c.Link.HopDelay
+	if math.Abs(tw-want) > 1e-15 {
+		t.Errorf("whole broadcast = %v, want %v", tw, want)
+	}
+	// Own-boards-only broadcast: 1 hop, strictly faster.
+	to, err := c.BroadcastTime(0, own, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if to >= tw {
+		t.Errorf("own-board broadcast %v not faster than whole %v", to, tw)
+	}
+	// Reduce symmetric with broadcast.
+	tr, err := c.ReduceTime(0, whole, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr != tw {
+		t.Errorf("reduce %v != broadcast %v", tr, tw)
+	}
+}
+
+func TestBroadcastBandwidthScaling(t *testing.T) {
+	c := Production
+	u := c.WholeCluster().Units[0]
+	t1, _ := c.BroadcastTime(0, u, 1000)
+	t2, _ := c.BroadcastTime(0, u, 1_001_000)
+	// Extra 1e6 bytes at 170 MB/s ≈ 5.88 ms.
+	if math.Abs((t2-t1)-1e6/c.Link.Bandwidth) > 1e-12 {
+		t.Errorf("bandwidth term wrong: %v", t2-t1)
+	}
+}
+
+func TestBroadcastErrors(t *testing.T) {
+	c := Production
+	u := Unit{Hosts: []int{0}, Boards: []int{99}}
+	if _, err := c.BroadcastTime(0, u, 10); err == nil {
+		t.Error("accepted out-of-range board")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	c := Production
+	out := c.Describe(c.PerHost())
+	for _, want := range []string{"4 hosts", "16 processor boards", "unit 0", "25% of peak"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Describe missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package parallel
+
+import (
+	"fmt"
+
+	"grape6/internal/des"
+	"grape6/internal/hermite"
+	"grape6/internal/nbody"
+	"grape6/internal/simnet"
+	"grape6/internal/vec"
+)
+
+// RunCopy executes the "copy" algorithm (Sections 3.2 and 4.3): each host
+// holds the complete system, integrates the block particles whose id
+// hashes to it, and allgathers the updated particles after every block
+// step. The amount of communication per block is independent of the host
+// count — which is exactly why its synchronization overhead dominates at
+// small N (Figure 18).
+//
+// The host count must be a power of two (the machine's configurations are
+// 1..16).
+func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(cfg.Hosts) {
+		return nil, fmt.Errorf("parallel: copy algorithm needs a power-of-two host count, got %d", cfg.Hosts)
+	}
+	if err := initForces(sys, cfg); err != nil {
+		return nil, err
+	}
+
+	eng := des.New()
+	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
+	res := &Result{}
+
+	// Per-host replicas and backends.
+	replicas := make([]*nbody.System, cfg.Hosts)
+	backends := make([]hermite.Backend, cfg.Hosts)
+	indices := make([]map[int]int, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		replicas[h] = sys.Clone()
+		backends[h] = cfg.backendFor(h)
+		backends[h].Load(replicas[h])
+		indices[h] = indexByID(replicas[h])
+	}
+
+	for h := 0; h < cfg.Hosts; h++ {
+		h := h
+		eng.Spawn(fmt.Sprintf("host%d", h), func(p *des.Proc) {
+			copyHost(p, h, cfg, net, replicas[h], backends[h], indices[h], until, res)
+		})
+	}
+	eng.RunAll()
+	if eng.Live() != 0 {
+		return nil, fmt.Errorf("parallel: %d hosts deadlocked", eng.Live())
+	}
+
+	res.Sys = replicas[0]
+	res.VirtualTime = eng.Now()
+	res.Messages = net.MessagesSent
+	res.Bytes = net.BytesSent
+	return res, nil
+}
+
+func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
+	S *nbody.System, backend hermite.Backend, idx map[int]int,
+	until float64, res *Result) {
+
+	m := cfg.Machine
+	round := 0
+	for {
+		t := S.MinTime()
+		if t > until {
+			break
+		}
+		block := blockAt(S, t)
+
+		// This host's share of the block.
+		var mine []int
+		for _, i := range block {
+			if S.ID[i]%cfg.Hosts == h {
+				mine = append(mine, i)
+			}
+		}
+
+		var ups []update
+		if len(mine) > 0 {
+			ids := make([]int, len(mine))
+			xp := make([]vec.V3, len(mine))
+			vp := make([]vec.V3, len(mine))
+			for k, i := range mine {
+				ids[k] = S.ID[i]
+				dt := t - S.Time[i]
+				xp[k], vp[k] = hermite.Predict(S.Pos[i], S.Vel[i], S.Acc[i], S.Jerk[i], S.Snap[i], dt)
+			}
+			fs := backend.Forces(t, ids, xp, vp, cfg.Params.Eps)
+
+			// Charge the modelled compute time: frontend work, GRAPE
+			// pipelines over the full stored system, and the DMA link.
+			p.Sleep(m.HostWork(len(mine), S.N) +
+				m.GrapeTimeHost(len(mine), S.N) +
+				m.LinkTime(len(mine)))
+
+			ups = make([]update, 0, len(mine))
+			for k, i := range mine {
+				ups = append(ups, correctParticle(S, i, fs[k], t, cfg.Params))
+			}
+		}
+
+		// Exchange updated particles: recursive-doubling allgather, the
+		// "butterfly message exchange" of Section 4.4.
+		all := gatherUpdates(p, net, h, cfg.Hosts, round*4096, ups)
+		sortByID(all)
+		for _, u := range all {
+			if u.id%cfg.Hosts != h { // own particles already applied
+				applyUpdate(S, idx, u)
+			}
+		}
+		// Refresh the backend for every updated particle.
+		changed := make([]int, 0, len(all))
+		for _, u := range all {
+			changed = append(changed, idx[u.id])
+		}
+		backend.Update(S, changed)
+
+		if h == 0 {
+			res.Blocks++
+			res.Steps += int64(len(block))
+		}
+		round++
+	}
+}

@@ -1,0 +1,135 @@
+package parallel
+
+import (
+	"testing"
+
+	"grape6/internal/board"
+	"grape6/internal/gbackend"
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/xrand"
+)
+
+// tinyGrape builds a small emulated attachment per host.
+func tinyGrape(boards int) func(int) hermite.Backend {
+	return func(rank int) hermite.Backend {
+		cfg := board.Default
+		cfg.ChipsPerModule = 2
+		cfg.ModulesPerBoard = 2
+		cfg.Boards = boards
+		return gbackend.New(board.New(cfg))
+	}
+}
+
+// TestCopyOnEmulatedHardwareEndToEnd is the full-stack integration test:
+// the copy parallel algorithm running over the simulated network with an
+// emulated GRAPE-6 attachment on every simulated host. Because both the
+// block-floating-point hardware summation AND the copy algorithm's
+// correct-once-and-ship structure are exactly reproducible, the final
+// trajectories must be BIT-IDENTICAL to a single-host integration on the
+// same emulated hardware — the paper's validation property, end to end.
+func TestCopyOnEmulatedHardwareEndToEnd(t *testing.T) {
+	n := 48
+	until := 0.0625
+
+	// Single-host reference on emulated hardware.
+	ref := model.Plummer(n, xrand.New(31))
+	it, err := hermite.New(ref, tinyGrape(1)(0), hermite.DefaultParams(1.0/64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(until)
+
+	// 4-host copy algorithm, each host with its own emulated attachment.
+	cfg := testConfig(4)
+	cfg.NewBackend = tinyGrape(1)
+	res, err := RunCopy(model.Plummer(n, xrand.New(31)), until, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 0; i < n; i++ {
+		if ref.Pos[i] != res.Sys.Pos[i] || ref.Vel[i] != res.Sys.Vel[i] {
+			t.Fatalf("particle %d differs between 1-host and 4-host emulated runs:\n%v\n%v",
+				i, ref.Pos[i], res.Sys.Pos[i])
+		}
+	}
+}
+
+// TestCopyEmulatedDiffersFromFloat64 guards against the emulated path
+// silently falling back to float64: the hardware arithmetic must leave its
+// (tiny) fingerprint on the trajectories.
+func TestCopyEmulatedDiffersFromFloat64(t *testing.T) {
+	n := 48
+	until := 0.0625
+
+	cfgHW := testConfig(2)
+	cfgHW.NewBackend = tinyGrape(1)
+	hw, err := RunCopy(model.Plummer(n, xrand.New(33)), until, cfgHW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw, err := RunCopy(model.Plummer(n, xrand.New(33)), until, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	identical := true
+	var maxDev float64
+	for i := 0; i < n; i++ {
+		if hw.Sys.Pos[i] != sw.Sys.Pos[i] {
+			identical = false
+		}
+		if d := hw.Sys.Pos[i].Dist(sw.Sys.Pos[i]); d > maxDev {
+			maxDev = d
+		}
+	}
+	if identical {
+		t.Error("emulated-hardware run is bit-identical to float64 — emulation not exercised")
+	}
+	if maxDev > 1e-3 {
+		t.Errorf("hardware arithmetic deviates too much from float64: %v", maxDev)
+	}
+}
+
+// TestCopyEmulatedEnergy checks conservation through the whole stack.
+func TestCopyEmulatedEnergy(t *testing.T) {
+	n := 48
+	sys := model.Plummer(n, xrand.New(35))
+	e0 := sys.TotalEnergy(1.0 / 64)
+	cfg := testConfig(2)
+	cfg.NewBackend = tinyGrape(1)
+	res, err := RunCopy(sys.Clone(), 0.125, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := synchronizeAll(res.Sys)
+	e1 := snap.TotalEnergy(1.0 / 64)
+	if rel := abs((e1 - e0) / e0); rel > 1e-4 {
+		t.Errorf("energy error through full stack = %v", rel)
+	}
+}
+
+func synchronizeAll(sys *nbody.System) *nbody.System {
+	snap := sys.Clone()
+	tmax := 0.0
+	for i := 0; i < snap.N; i++ {
+		if snap.Time[i] > tmax {
+			tmax = snap.Time[i]
+		}
+	}
+	for i := 0; i < snap.N; i++ {
+		dt := tmax - snap.Time[i]
+		snap.Pos[i], snap.Vel[i] = hermite.Predict(snap.Pos[i], snap.Vel[i], snap.Acc[i], snap.Jerk[i], snap.Snap[i], dt)
+		snap.Time[i] = tmax
+	}
+	return snap
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

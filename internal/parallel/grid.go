@@ -1,0 +1,250 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/des"
+	"grape6/internal/direct"
+	"grape6/internal/hermite"
+	"grape6/internal/nbody"
+	"grape6/internal/simnet"
+	"grape6/internal/vec"
+)
+
+// pforce is a partial force aligned with the row's block order.
+type pforce struct {
+	acc, jerk vec.V3
+	pot       float64
+}
+
+// pforceBytes is the wire size of a partial force entry.
+const pforceBytes = 56
+
+// RunGrid executes the two-dimensional algorithm of Makino (2002)
+// (Section 3.2): r² hosts form an r×r grid; host (i,j) holds copies of
+// particle subsets i and j. Each block step, row i predicts the block
+// members of subset i, every host (i,j) computes their partial forces from
+// subset j, the partials are summed on the diagonal host (i,i), which
+// corrects the particles and broadcasts the updates along its row and
+// column. Communication per host is O(N/r) — the square-root scaling that
+// motivated both the host grid and the GRAPE hardware network.
+//
+// cfg.Hosts must be a perfect square r² with power-of-two r².
+func RunGrid(sys *nbody.System, until float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := int(math.Round(math.Sqrt(float64(cfg.Hosts))))
+	if r*r != cfg.Hosts || !isPow2(cfg.Hosts) {
+		return nil, fmt.Errorf("parallel: grid needs a power-of-two square host count, got %d", cfg.Hosts)
+	}
+	if sys.N < r {
+		return nil, fmt.Errorf("parallel: %d particles cannot be split over %d subsets", sys.N, r)
+	}
+	if err := initForces(sys, cfg); err != nil {
+		return nil, err
+	}
+
+	// Subset s = contiguous slice of ids.
+	subsetIdx := func(s int) []int {
+		lo := s * sys.N / r
+		hi := (s + 1) * sys.N / r
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+
+	eng := des.New()
+	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
+	res := &Result{}
+
+	states := make([]*gridState, cfg.Hosts)
+	for i := 0; i < r; i++ {
+		for j := 0; j < r; j++ {
+			st := &gridState{}
+			st.row = sys.Subset(subsetIdx(i))
+			if i == j {
+				st.col = st.row
+			} else {
+				st.col = sys.Subset(subsetIdx(j))
+			}
+			st.rowIdx = indexByID(st.row)
+			st.colIdx = indexByID(st.col)
+			st.backend = cfg.backendFor(i*r + j)
+			st.backend.Load(st.col)
+			states[i*r+j] = st
+		}
+	}
+
+	for rank := 0; rank < cfg.Hosts; rank++ {
+		rank := rank
+		eng.Spawn(fmt.Sprintf("grid%d", rank), func(p *des.Proc) {
+			gridHost(p, rank, r, cfg, net, states[rank], until, res)
+		})
+	}
+	eng.RunAll()
+	if eng.Live() != 0 {
+		return nil, fmt.Errorf("parallel: %d grid hosts deadlocked", eng.Live())
+	}
+
+	// Diagonal hosts hold the corrected subsets.
+	out := nbody.New(sys.N)
+	for i := 0; i < r; i++ {
+		part := states[i*r+i].row
+		for k := 0; k < part.N; k++ {
+			id := part.ID[k]
+			out.ID[id] = id
+			out.Mass[id] = part.Mass[k]
+			out.Pos[id] = part.Pos[k]
+			out.Vel[id] = part.Vel[k]
+			out.Acc[id] = part.Acc[k]
+			out.Jerk[id] = part.Jerk[k]
+			out.Snap[id] = part.Snap[k]
+			out.Crack[id] = part.Crack[k]
+			out.Pot[id] = part.Pot[k]
+			out.Time[id] = part.Time[k]
+			out.Step[id] = part.Step[k]
+		}
+	}
+	res.Sys = out
+	res.VirtualTime = eng.Now()
+	res.Messages = net.MessagesSent
+	res.Bytes = net.BytesSent
+	return res, nil
+}
+
+// gridState is one grid host's storage.
+type gridState struct {
+	row     *nbody.System // copy of subset i
+	col     *nbody.System // copy of subset j (same object on the diagonal)
+	rowIdx  map[int]int
+	colIdx  map[int]int
+	backend hermite.Backend // loaded with the column subset
+}
+
+// Per-round message tags.
+const (
+	tagMin     = 2048 // allreduce of the next block time
+	tagPartial = 100  // + sender column j: partial forces to the diagonal
+	tagRowUpd  = 200  // updates broadcast along the row
+	tagColUpd  = 300  // updates broadcast along the column
+	tagStride  = 4096
+)
+
+func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
+	st *gridState, until float64, res *Result) {
+
+	m := cfg.Machine
+	i, j := rank/r, rank%r
+	diag := i*r + i
+	round := 0
+	for {
+		t := allreduceMin(p, net, rank, r*r, round*tagStride+tagMin, st.row.MinTime())
+		if t > until {
+			break
+		}
+		block := blockAt(st.row, t) // identical across row i
+
+		// Predict the block and compute partial forces from subset j.
+		partial := make([]pforce, len(block))
+		if len(block) > 0 {
+			ids := make([]int, len(block))
+			xs := make([]vec.V3, len(block))
+			vs := make([]vec.V3, len(block))
+			for k, ix := range block {
+				ids[k] = st.row.ID[ix]
+				dt := t - st.row.Time[ix]
+				xs[k], vs[k] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
+					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
+			}
+			fs := st.backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+			for k := range block {
+				partial[k] = pforce{acc: fs[k].Acc, jerk: fs[k].Jerk, pot: fs[k].Pot}
+			}
+			p.Sleep(m.GrapeTimeHost(len(block), st.col.N) + m.LinkTime(len(block)))
+		}
+
+		var ups []update
+		if rank == diag {
+			// Gather partials from the row (including our own), sum in
+			// fixed column order for determinism.
+			parts := make([][]pforce, r)
+			parts[j] = partial
+			for jj := 0; jj < r; jj++ {
+				if jj == j {
+					continue
+				}
+				msg := net.Recv(p, rank, round*tagStride+tagPartial+jj)
+				parts[jj] = msg.Payload.([]pforce)
+			}
+			total := make([]direct.Force, len(block))
+			for k := range block {
+				var f direct.Force
+				f.NN = -1
+				for jj := 0; jj < r; jj++ {
+					if len(parts[jj]) != len(block) {
+						panic("parallel: grid partial length mismatch")
+					}
+					f.Acc = f.Acc.Add(parts[jj][k].acc)
+					f.Jerk = f.Jerk.Add(parts[jj][k].jerk)
+					f.Pot += parts[jj][k].pot
+				}
+				total[k] = f
+			}
+
+			// Correct on the diagonal host.
+			ups = make([]update, 0, len(block))
+			for k, ix := range block {
+				ups = append(ups, correctParticle(st.row, ix, total[k], t, cfg.Params))
+			}
+			if len(block) > 0 {
+				p.Sleep(m.HostWork(len(block), st.row.N*r))
+				st.backend.Update(st.col, block) // col == row on the diagonal
+			}
+
+			// Broadcast updates along the row and the column.
+			for k := 0; k < r; k++ {
+				if k == i {
+					continue
+				}
+				net.Send(rank, i*r+k, round*tagStride+tagRowUpd, len(ups)*updateBytes, ups)
+				net.Send(rank, k*r+i, round*tagStride+tagColUpd, len(ups)*updateBytes, ups)
+			}
+
+			res.Steps += int64(len(block))
+			if rank == 0 {
+				res.Blocks++
+			}
+		} else {
+			// Send partials to the diagonal of our row.
+			net.Send(rank, diag, round*tagStride+tagPartial+j, len(partial)*pforceBytes, partial)
+
+			// Receive subset-i updates from our row's diagonal and apply
+			// to the row copy.
+			rowMsg := net.Recv(p, rank, round*tagStride+tagRowUpd)
+			for _, u := range rowMsg.Payload.([]update) {
+				applyUpdate(st.row, st.rowIdx, u)
+			}
+
+			// Receive subset-j updates from our column's diagonal and
+			// apply to the column copy feeding the force backend.
+			colMsg := net.Recv(p, rank, round*tagStride+tagColUpd)
+			colUps := colMsg.Payload.([]update)
+			changed := make([]int, 0, len(colUps))
+			for _, u := range colUps {
+				applyUpdate(st.col, st.colIdx, u)
+				changed = append(changed, st.colIdx[u.id])
+			}
+			if len(changed) > 0 {
+				st.backend.Update(st.col, changed)
+			}
+			if rank == 0 {
+				res.Blocks++
+			}
+		}
+		round++
+	}
+}

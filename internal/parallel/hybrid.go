@@ -1,0 +1,268 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/des"
+	"grape6/internal/direct"
+	"grape6/internal/hermite"
+	"grape6/internal/nbody"
+	"grape6/internal/simnet"
+	"grape6/internal/vec"
+)
+
+// RunHybrid executes the production machine's actual parallel structure
+// (Section 4.3): the "copy" algorithm ACROSS clusters — each cluster holds
+// a complete copy of the system and integrates the block particles whose
+// id hashes to it — combined with the 2D grid algorithm WITHIN each
+// cluster, where the cluster's r×r hosts hold row/column subsets and the
+// diagonal hosts perform the corrections. After every block step the
+// diagonal hosts broadcast their updates to the matching rows and columns
+// of ALL clusters, which is the inter-cluster traffic that makes the
+// multi-cluster crossover sit at such large N (Figures 17-18).
+//
+// cfg.Hosts must equal Clusters × r² with both Clusters and r² powers of
+// two; pass the total host count and the cluster count.
+func RunHybrid(sys *nbody.System, until float64, clusters int, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if clusters <= 0 || !isPow2(clusters) {
+		return nil, fmt.Errorf("parallel: hybrid cluster count %d not a positive power of two", clusters)
+	}
+	if cfg.Hosts%clusters != 0 {
+		return nil, fmt.Errorf("parallel: %d hosts not divisible by %d clusters", cfg.Hosts, clusters)
+	}
+	perCl := cfg.Hosts / clusters
+	r := int(math.Round(math.Sqrt(float64(perCl))))
+	if r*r != perCl || !isPow2(perCl) {
+		return nil, fmt.Errorf("parallel: hybrid needs r² hosts per cluster, got %d", perCl)
+	}
+	if sys.N < r {
+		return nil, fmt.Errorf("parallel: %d particles cannot be split over %d subsets", sys.N, r)
+	}
+	if err := initForces(sys, cfg); err != nil {
+		return nil, err
+	}
+
+	subsetIdx := func(s int) []int {
+		lo := s * sys.N / r
+		hi := (s + 1) * sys.N / r
+		out := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			out = append(out, i)
+		}
+		return out
+	}
+
+	eng := des.New()
+	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
+	res := &Result{}
+
+	states := make([]*gridState, cfg.Hosts)
+	for k := 0; k < clusters; k++ {
+		for i := 0; i < r; i++ {
+			for j := 0; j < r; j++ {
+				st := &gridState{}
+				st.row = sys.Subset(subsetIdx(i))
+				if i == j {
+					st.col = st.row
+				} else {
+					st.col = sys.Subset(subsetIdx(j))
+				}
+				st.rowIdx = indexByID(st.row)
+				st.colIdx = indexByID(st.col)
+				st.backend = cfg.backendFor(k*perCl + i*r + j)
+				st.backend.Load(st.col)
+				states[k*perCl+i*r+j] = st
+			}
+		}
+	}
+
+	for rank := 0; rank < cfg.Hosts; rank++ {
+		rank := rank
+		eng.Spawn(fmt.Sprintf("hyb%d", rank), func(p *des.Proc) {
+			hybridHost(p, rank, clusters, r, cfg, net, states[rank], until, res)
+		})
+	}
+	eng.RunAll()
+	if eng.Live() != 0 {
+		return nil, fmt.Errorf("parallel: %d hybrid hosts deadlocked", eng.Live())
+	}
+
+	// Cluster 0's diagonals hold... every cluster's copy is complete; use
+	// cluster 0's row copies (subsets 0..r-1 from its diagonal rows).
+	out := nbody.New(sys.N)
+	for i := 0; i < r; i++ {
+		part := states[i*r+i].row
+		for q := 0; q < part.N; q++ {
+			id := part.ID[q]
+			out.ID[id] = id
+			out.Mass[id] = part.Mass[q]
+			out.Pos[id] = part.Pos[q]
+			out.Vel[id] = part.Vel[q]
+			out.Acc[id] = part.Acc[q]
+			out.Jerk[id] = part.Jerk[q]
+			out.Snap[id] = part.Snap[q]
+			out.Crack[id] = part.Crack[q]
+			out.Pot[id] = part.Pot[q]
+			out.Time[id] = part.Time[q]
+			out.Step[id] = part.Step[q]
+		}
+	}
+	res.Sys = out
+	res.VirtualTime = eng.Now()
+	res.Messages = net.MessagesSent
+	res.Bytes = net.BytesSent
+	return res, nil
+}
+
+// Hybrid message tags (per round, on top of the grid tags).
+const (
+	tagHybRowUpd = 400 // + source cluster
+	tagHybColUpd = 500 // + source cluster
+)
+
+func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Network,
+	st *gridState, until float64, res *Result) {
+
+	m := cfg.Machine
+	perCl := r * r
+	k := rank / perCl
+	local := rank % perCl
+	i, j := local/r, local%r
+	diagRank := k*perCl + i*r + i
+	round := 0
+	for {
+		t := allreduceMin(p, net, rank, cfg.Hosts, round*tagStride+tagMin, st.row.MinTime())
+		if t > until {
+			break
+		}
+		// Full block members of subset i, then this cluster's share.
+		rowBlock := blockAt(st.row, t)
+		var block []int
+		for _, ix := range rowBlock {
+			if st.row.ID[ix]%clusters == k {
+				block = append(block, ix)
+			}
+		}
+
+		// Partial forces from subset j for the cluster's share.
+		partial := make([]pforce, len(block))
+		if len(block) > 0 {
+			ids := make([]int, len(block))
+			xs := make([]vec.V3, len(block))
+			vs := make([]vec.V3, len(block))
+			for q, ix := range block {
+				ids[q] = st.row.ID[ix]
+				dt := t - st.row.Time[ix]
+				xs[q], vs[q] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
+					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
+			}
+			fs := st.backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+			for q := range block {
+				partial[q] = pforce{acc: fs[q].Acc, jerk: fs[q].Jerk, pot: fs[q].Pot}
+			}
+			p.Sleep(m.GrapeTimeHost(len(block), st.col.N) + m.LinkTime(len(block)))
+		}
+
+		if rank == diagRank {
+			// Sum partials across the cluster's row.
+			parts := make([][]pforce, r)
+			parts[j] = partial
+			for jj := 0; jj < r; jj++ {
+				if jj == j {
+					continue
+				}
+				msg := net.Recv(p, rank, round*tagStride+tagPartial+jj)
+				parts[jj] = msg.Payload.([]pforce)
+			}
+			ups := make([]update, 0, len(block))
+			for q, ix := range block {
+				var f direct.Force
+				f.NN = -1
+				for jj := 0; jj < r; jj++ {
+					if len(parts[jj]) != len(block) {
+						panic("parallel: hybrid partial length mismatch")
+					}
+					f.Acc = f.Acc.Add(parts[jj][q].acc)
+					f.Jerk = f.Jerk.Add(parts[jj][q].jerk)
+					f.Pot += parts[jj][q].pot
+				}
+				ups = append(ups, correctParticle(st.row, ix, f, t, cfg.Params))
+			}
+			if len(block) > 0 {
+				p.Sleep(m.HostWork(len(block), st.row.N*r))
+				st.backend.Update(st.col, block)
+			}
+
+			// Broadcast to row i and column i of EVERY cluster (including
+			// the other clusters' diagonals), tagging by source cluster.
+			for kk := 0; kk < clusters; kk++ {
+				for x := 0; x < r; x++ {
+					rowPeer := kk*perCl + i*r + x
+					colPeer := kk*perCl + x*r + i
+					if rowPeer != rank {
+						net.Send(rank, rowPeer, round*tagStride+tagHybRowUpd+k, len(ups)*updateBytes, ups)
+					}
+					if colPeer != rank && colPeer != rowPeer {
+						net.Send(rank, colPeer, round*tagStride+tagHybColUpd+k, len(ups)*updateBytes, ups)
+					}
+				}
+			}
+
+			// Receive the other clusters' updates for subset i (this host
+			// is both row-i and column-i; the senders skip duplicate
+			// row/col targets, so exactly one message per other diagonal).
+			for kk := 0; kk < clusters; kk++ {
+				if kk == k {
+					continue
+				}
+				msg := net.Recv(p, rank, round*tagStride+tagHybRowUpd+kk)
+				for _, u := range msg.Payload.([]update) {
+					applyUpdate(st.row, st.rowIdx, u)
+				}
+				changed := make([]int, 0)
+				for _, u := range msg.Payload.([]update) {
+					changed = append(changed, st.rowIdx[u.id])
+				}
+				if len(changed) > 0 {
+					st.backend.Update(st.col, changed)
+				}
+			}
+			res.Steps += int64(len(block))
+			if rank == 0 {
+				res.Blocks++
+			}
+		} else {
+			// Ship partials to the cluster's diagonal.
+			net.Send(rank, diagRank, round*tagStride+tagPartial+j, len(partial)*pforceBytes, partial)
+
+			// Row updates for subset i from every cluster's diagonal i.
+			for kk := 0; kk < clusters; kk++ {
+				msg := net.Recv(p, rank, round*tagStride+tagHybRowUpd+kk)
+				for _, u := range msg.Payload.([]update) {
+					applyUpdate(st.row, st.rowIdx, u)
+				}
+			}
+			// Column updates for subset j from every cluster's diagonal j.
+			for kk := 0; kk < clusters; kk++ {
+				msg := net.Recv(p, rank, round*tagStride+tagHybColUpd+kk)
+				colUps := msg.Payload.([]update)
+				changed := make([]int, 0, len(colUps))
+				for _, u := range colUps {
+					applyUpdate(st.col, st.colIdx, u)
+					changed = append(changed, st.colIdx[u.id])
+				}
+				if len(changed) > 0 {
+					st.backend.Update(st.col, changed)
+				}
+			}
+			if rank == 0 {
+				res.Blocks++
+			}
+		}
+		round++
+	}
+}

@@ -1,0 +1,150 @@
+package parallel
+
+import (
+	"testing"
+
+	"grape6/internal/simnet"
+)
+
+func TestHybridRejectsBadShapes(t *testing.T) {
+	sys := plummer(32, 1)
+	if _, err := RunHybrid(sys, 0.01, 3, testConfig(12)); err == nil {
+		t.Error("accepted 3 clusters")
+	}
+	if _, err := RunHybrid(plummer(32, 1), 0.01, 2, testConfig(6)); err == nil {
+		t.Error("accepted 3 hosts per cluster")
+	}
+	if _, err := RunHybrid(plummer(32, 1), 0.01, 2, testConfig(7)); err == nil {
+		t.Error("accepted non-divisible host count")
+	}
+}
+
+func TestHybridSingleClusterMatchesGrid(t *testing.T) {
+	// With one cluster the hybrid IS the grid algorithm; the partial-sum
+	// order is identical, so results must be bit-identical.
+	n := 48
+	until := 0.0625
+	g, err := RunGrid(plummer(n, 41), until, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := RunHybrid(plummer(n, 41), until, 1, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if g.Sys.Pos[i] != h.Sys.Pos[i] || g.Sys.Vel[i] != h.Sys.Vel[i] {
+			t.Fatalf("particle %d differs between grid and 1-cluster hybrid", i)
+		}
+	}
+	if g.Steps != h.Steps {
+		t.Errorf("steps differ: %d vs %d", g.Steps, h.Steps)
+	}
+}
+
+func TestHybridMatchesReference(t *testing.T) {
+	// 2 clusters × 4 hosts: trajectories close to the single-host run.
+	n := 64
+	until := 0.0625
+	ref := singleHostReference(t, n, 43, until)
+	res, err := RunHybrid(plummer(n, 43), until, 2, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(ref, res.Sys); d > 1e-6 {
+		t.Errorf("hybrid deviates from reference by %v", d)
+	}
+}
+
+func TestHybridClusterCountInvariance(t *testing.T) {
+	// Different cluster counts must agree closely (not bit-exact: the
+	// cluster hash changes which diagonal sums which partial set, but the
+	// partial summation order within a cluster is fixed).
+	n := 48
+	until := 0.0625
+	h1, err := RunHybrid(plummer(n, 45), until, 1, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := RunHybrid(plummer(n, 45), until, 2, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(h1.Sys, h2.Sys); d > 1e-7 {
+		t.Errorf("1-cluster vs 2-cluster deviation %v", d)
+	}
+}
+
+func TestHybridMultiClusterIsSlowerAtSmallN(t *testing.T) {
+	// The paper's Figure 17/18 finding at message level: the 8-host
+	// 2-cluster machine is SLOWER than the 4-host single cluster at small
+	// N because of the inter-cluster update broadcasts.
+	n := 64
+	until := 0.0625
+	h4, err := RunHybrid(plummer(n, 47), until, 1, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h8, err := RunHybrid(plummer(n, 47), until, 2, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h8.VirtualTime <= h4.VirtualTime {
+		t.Errorf("2-cluster (%.4gs) not slower than 1-cluster (%.4gs) at N=%d",
+			h8.VirtualTime, h4.VirtualTime, n)
+	}
+	// And it moves strictly more bytes.
+	if h8.Bytes <= h4.Bytes {
+		t.Errorf("2-cluster bytes %d not above 1-cluster %d", h8.Bytes, h4.Bytes)
+	}
+}
+
+func TestHybridTunedNICHelps(t *testing.T) {
+	cfgOld := testConfig(8)
+	cfgNew := testConfig(8)
+	cfgNew.NIC = simnet.Intel82540EM
+	ro, err := RunHybrid(plummer(64, 49), 0.03125, 2, cfgOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := RunHybrid(plummer(64, 49), 0.03125, 2, cfgNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.VirtualTime >= ro.VirtualTime {
+		t.Errorf("tuned NIC not faster on hybrid: %v vs %v", rn.VirtualTime, ro.VirtualTime)
+	}
+}
+
+func TestHybridEnergyConservation(t *testing.T) {
+	sys := plummer(64, 51)
+	e0 := sys.TotalEnergy(1.0 / 64)
+	res, err := RunHybrid(sys.Clone(), 0.125, 2, testConfig(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := synchronizeAll(res.Sys)
+	e1 := snap.TotalEnergy(1.0 / 64)
+	if rel := abs((e1 - e0) / e0); rel > 1e-4 {
+		t.Errorf("hybrid energy error = %v", rel)
+	}
+}
+
+func TestHybridDeterministic(t *testing.T) {
+	run := func() *Result {
+		r, err := RunHybrid(plummer(48, 53), 0.0625, 2, testConfig(8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.VirtualTime != b.VirtualTime || a.Messages != b.Messages {
+		t.Error("non-deterministic hybrid co-simulation")
+	}
+	for i := 0; i < a.Sys.N; i++ {
+		if a.Sys.Pos[i] != b.Sys.Pos[i] {
+			t.Fatalf("non-deterministic particle %d", i)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package parallel implements the three particle-distribution strategies
+// the paper discusses for parallel individual-timestep N-body integration
+// (Sections 3.2 and 4.2-4.3):
+//
+//   - the "copy" algorithm, where every host holds the complete system and
+//     integrates a subset of each block, exchanging updated particles
+//     afterwards — the paper's multi-cluster strategy;
+//   - the "ring" algorithm, where each host owns a disjoint subset and the
+//     current block's particles circulate around a ring accumulating
+//     partial forces — the simple distributed-memory baseline;
+//   - the two-dimensional grid algorithm of Makino (2002), where an r×r
+//     host grid holds row/column copies so that communication per host
+//     scales as O(N/r) — the paper's intra-cluster strategy.
+//
+// All three run as message-level co-simulations: simulated hosts execute
+// the REAL integration arithmetic (so final particle states are testable
+// against the single-host integrator) while sleeping in virtual time for
+// their modelled compute costs, and all host-host traffic goes through the
+// simulated network. The virtual clock at completion is the predicted
+// wall-clock of the run.
+package parallel
+
+import (
+	"fmt"
+	"sort"
+
+	"grape6/internal/des"
+	"grape6/internal/direct"
+	"grape6/internal/hermite"
+	"grape6/internal/nbody"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/vec"
+)
+
+// Config parameterises a parallel run.
+type Config struct {
+	Hosts   int
+	NIC     simnet.NIC
+	Machine perfmodel.Machine // per-host hardware and frontend model
+	Params  hermite.Params
+
+	// NewBackend, when non-nil, builds the force backend for each
+	// simulated host (e.g. an emulated GRAPE attachment per host). Nil
+	// uses the float64 DirectBackend. Each host gets its own instance.
+	//
+	// The gbackend (emulated GRAPE) predicts i-particles from its own
+	// j-memory image, so it requires every i-particle to be loaded on the
+	// host evaluating it: that holds for the copy algorithm (full replica
+	// per host) but NOT for ring/grid, whose i-particles visit hosts that
+	// store disjoint subsets — use position-honouring backends there.
+	NewBackend func(rank int) hermite.Backend
+}
+
+// backendFor builds the rank's force backend.
+func (c Config) backendFor(rank int) hermite.Backend {
+	if c.NewBackend != nil {
+		return c.NewBackend(rank)
+	}
+	return hermite.NewDirectBackend()
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Hosts <= 0 {
+		return fmt.Errorf("parallel: non-positive host count %d", c.Hosts)
+	}
+	if err := c.NIC.Validate(); err != nil {
+		return err
+	}
+	if err := c.Machine.Validate(); err != nil {
+		return err
+	}
+	return c.Params.Validate()
+}
+
+// Result is the outcome of a parallel run.
+type Result struct {
+	Sys         *nbody.System // final particle states (gathered)
+	VirtualTime float64       // predicted wall-clock, seconds
+	Steps       int64         // individual particle steps
+	Blocks      int64         // block steps
+	Messages    int64         // host-host messages
+	Bytes       int64         // host-host traffic
+}
+
+// StepsPerSecond returns the individual-step rate in virtual time.
+func (r *Result) StepsPerSecond() float64 {
+	if r.VirtualTime <= 0 {
+		return 0
+	}
+	return float64(r.Steps) / r.VirtualTime
+}
+
+// update carries one particle's corrected state between hosts.
+type update struct {
+	id                               int
+	pos, vel, acc, jerk, snap, crack vec.V3
+	pot, time, step                  float64
+}
+
+// updateBytes is the wire size of one update: 18 coordinates + 3 scalars
+// + id ≈ 176 bytes.
+const updateBytes = 176
+
+// makeUpdate snapshots particle i of sys.
+func makeUpdate(sys *nbody.System, i int) update {
+	return update{
+		id:  sys.ID[i],
+		pos: sys.Pos[i], vel: sys.Vel[i], acc: sys.Acc[i], jerk: sys.Jerk[i],
+		snap: sys.Snap[i], crack: sys.Crack[i],
+		pot: sys.Pot[i], time: sys.Time[i], step: sys.Step[i],
+	}
+}
+
+// applyUpdate overwrites particle state; idx maps particle id → slot.
+func applyUpdate(sys *nbody.System, idx map[int]int, u update) {
+	i, ok := idx[u.id]
+	if !ok {
+		return // this host does not store the particle
+	}
+	sys.Pos[i], sys.Vel[i] = u.pos, u.vel
+	sys.Acc[i], sys.Jerk[i] = u.acc, u.jerk
+	sys.Snap[i], sys.Crack[i] = u.snap, u.crack
+	sys.Pot[i], sys.Time[i], sys.Step[i] = u.pot, u.time, u.step
+}
+
+// indexByID builds the id → slot map of a system.
+func indexByID(sys *nbody.System) map[int]int {
+	m := make(map[int]int, sys.N)
+	for i := 0; i < sys.N; i++ {
+		m[sys.ID[i]] = i
+	}
+	return m
+}
+
+// initForces performs the shared initialisation: forces, potentials and
+// startup timesteps for the whole system at its (common) initial time,
+// exactly as hermite.New does — INCLUDING going through the configured
+// backend type, so that a run on emulated hardware starts from
+// hardware-rounded initial forces and stays bit-comparable with a
+// single-host run on the same hardware. Every parallel algorithm starts
+// from this common state.
+func initForces(sys *nbody.System, cfg Config) error {
+	p := cfg.Params
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := sys.Validate(); err != nil {
+		return err
+	}
+	if sys.N == 0 {
+		return fmt.Errorf("parallel: empty system")
+	}
+	t0 := sys.Time[0]
+	for _, t := range sys.Time {
+		if t != t0 {
+			return fmt.Errorf("parallel: unsynchronised initial times")
+		}
+	}
+	b := cfg.backendFor(-1)
+	b.Load(sys)
+	ids := make([]int, sys.N)
+	for i := range ids {
+		ids[i] = sys.ID[i]
+	}
+	fs := b.Forces(t0, ids, sys.Pos, sys.Vel, p.Eps)
+	for i := 0; i < sys.N; i++ {
+		sys.Acc[i] = fs[i].Acc
+		sys.Jerk[i] = fs[i].Jerk
+		sys.Pot[i] = fs[i].Pot
+		if p.Eps > 0 {
+			sys.Pot[i] += sys.Mass[i] / p.Eps
+		}
+		sys.Snap[i] = vec.Zero
+		sys.Crack[i] = vec.Zero
+		sys.Step[i] = hermite.QuantizeInitial(
+			hermite.InitialStep(fs[i].Acc, fs[i].Jerk, p.EtaS), p.MinStep, p.MaxStep)
+	}
+	return nil
+}
+
+// blockAt returns the indices of particles whose next time equals t.
+func blockAt(sys *nbody.System, t float64) []int {
+	var b []int
+	for i := 0; i < sys.N; i++ {
+		if sys.Time[i]+sys.Step[i] == t {
+			b = append(b, i)
+		}
+	}
+	return b
+}
+
+// correctParticle applies the Hermite corrector and timestep update to
+// particle i using the freshly evaluated force f at time t, and returns
+// the update record. eps handles the self-potential fix.
+func correctParticle(sys *nbody.System, i int, f direct.Force, t float64, p hermite.Params) update {
+	dt := t - sys.Time[i]
+	x1, v1, snap1, crackle := hermite.Correct(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], f.Acc, f.Jerk, dt)
+	sys.Pos[i], sys.Vel[i] = x1, v1
+	sys.Acc[i], sys.Jerk[i] = f.Acc, f.Jerk
+	sys.Snap[i], sys.Crack[i] = snap1, crackle
+	sys.Pot[i] = f.Pot
+	if p.Eps > 0 {
+		sys.Pot[i] += sys.Mass[i] / p.Eps
+	}
+	sys.Time[i] = t
+	desired := hermite.AarsethStep(f.Acc, f.Jerk, snap1, crackle, p.Eta)
+	sys.Step[i] = hermite.NextStep(sys.Step[i], desired, t, p.MinStep, p.MaxStep)
+	return makeUpdate(sys, i)
+}
+
+// gatherUpdates performs a recursive-doubling allgather of update lists
+// among `size` hosts (power of two): after log2(size) rounds every host
+// holds the concatenation of all lists. Tag space: tagBase must be unique
+// per call site and block round.
+func gatherUpdates(p *des.Proc, net *simnet.Network, rank, size, tagBase int, local []update) []update {
+	for bit := 1; bit < size; bit <<= 1 {
+		peer := rank ^ bit
+		// Ship a private copy: simnet delivers the payload at a LATER
+		// virtual time, and the caller keeps appending to (and finally
+		// sorts) its own list — sending the live slice would let those
+		// mutations corrupt the in-flight message.
+		out := make([]update, len(local))
+		copy(out, local)
+		net.Send(rank, peer, tagBase+bit, len(out)*updateBytes, out)
+		msg := net.Recv(p, rank, tagBase+bit)
+		local = append(local, msg.Payload.([]update)...)
+	}
+	return local
+}
+
+// allreduceMin returns the minimum of each host's local value via a
+// butterfly exchange.
+func allreduceMin(p *des.Proc, net *simnet.Network, rank, size, tagBase int, local float64) float64 {
+	v := net.Butterfly(p, rank, size, tagBase, 8, local, func(a, b interface{}) interface{} {
+		if b.(float64) < a.(float64) {
+			return b
+		}
+		return a
+	})
+	return v.(float64)
+}
+
+// sortByID orders updates deterministically (hosts may receive them in
+// topology-dependent order; applying is overwrite-idempotent, but sorted
+// order keeps debugging output stable).
+func sortByID(us []update) {
+	sort.Slice(us, func(i, j int) bool { return us[i].id < us[j].id })
+}
+
+// isPow2 reports whether n is a positive power of two.
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }

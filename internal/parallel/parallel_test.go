@@ -1,0 +1,297 @@
+package parallel
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/xrand"
+)
+
+func testConfig(hosts int) Config {
+	return Config{
+		Hosts:   hosts,
+		NIC:     simnet.NS83820,
+		Machine: perfmodel.SingleNode(simnet.NS83820, perfmodel.Athlon),
+		Params:  hermite.DefaultParams(1.0 / 64),
+	}
+}
+
+func plummer(n int, seed uint64) *nbody.System {
+	return model.Plummer(n, xrand.New(seed))
+}
+
+// singleHostReference integrates with the plain hermite integrator.
+func singleHostReference(t *testing.T, n int, seed uint64, until float64) *nbody.System {
+	t.Helper()
+	sys := plummer(n, seed)
+	it, err := hermite.New(sys, hermite.NewDirectBackend(), hermite.DefaultParams(1.0/64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(until)
+	return sys
+}
+
+func maxDeviation(a, b *nbody.System) float64 {
+	var m float64
+	for i := 0; i < a.N; i++ {
+		if d := a.Pos[i].Dist(b.Pos[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestConfigValidation(t *testing.T) {
+	c := testConfig(4)
+	c.Hosts = 0
+	if err := c.Validate(); err == nil {
+		t.Error("accepted zero hosts")
+	}
+	c = testConfig(4)
+	c.Params.Eta = -1
+	if err := c.Validate(); err == nil {
+		t.Error("accepted bad params")
+	}
+}
+
+func TestCopyRejectsNonPow2(t *testing.T) {
+	if _, err := RunCopy(plummer(32, 1), 0.01, testConfig(3)); err == nil {
+		t.Error("copy accepted 3 hosts")
+	}
+}
+
+func TestRingRejectsNonPow2(t *testing.T) {
+	if _, err := RunRing(plummer(32, 1), 0.01, testConfig(3)); err == nil {
+		t.Error("ring accepted 3 hosts")
+	}
+}
+
+func TestGridRejectsNonSquare(t *testing.T) {
+	if _, err := RunGrid(plummer(32, 1), 0.01, testConfig(2)); err == nil {
+		t.Error("grid accepted 2 hosts")
+	}
+	if _, err := RunGrid(plummer(32, 1), 0.01, testConfig(8)); err == nil {
+		t.Error("grid accepted 8 hosts (not a square)")
+	}
+}
+
+func TestCopySingleHostMatchesReference(t *testing.T) {
+	ref := singleHostReference(t, 48, 7, 0.125)
+	res, err := RunCopy(plummer(48, 7), 0.125, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < ref.N; i++ {
+		if ref.Pos[i] != res.Sys.Pos[i] || ref.Vel[i] != res.Sys.Vel[i] {
+			t.Fatalf("particle %d differs from single-host reference", i)
+		}
+	}
+}
+
+func TestCopyHostCountInvariance(t *testing.T) {
+	// The copy algorithm computes every correction on exactly one host
+	// from a bit-identical replica, so results are independent of the
+	// host count — bit for bit.
+	r1, err := RunCopy(plummer(48, 9), 0.125, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := RunCopy(plummer(48, 9), 0.125, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < r1.Sys.N; i++ {
+		if r1.Sys.Pos[i] != r4.Sys.Pos[i] || r1.Sys.Vel[i] != r4.Sys.Vel[i] {
+			t.Fatalf("particle %d differs between 1 and 4 hosts", i)
+		}
+	}
+	if r1.Steps != r4.Steps || r1.Blocks != r4.Blocks {
+		t.Errorf("step counts differ: %d/%d vs %d/%d", r1.Steps, r1.Blocks, r4.Steps, r4.Blocks)
+	}
+}
+
+func TestRingMatchesReferenceClosely(t *testing.T) {
+	// Ring accumulates partial forces in a different order than the
+	// single host, so agreement is close but not bit-exact.
+	ref := singleHostReference(t, 64, 11, 0.0625)
+	res, err := RunRing(plummer(64, 11), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(ref, res.Sys); d > 1e-6 {
+		t.Errorf("ring deviates from reference by %v", d)
+	}
+}
+
+func TestGridMatchesReferenceClosely(t *testing.T) {
+	ref := singleHostReference(t, 64, 13, 0.0625)
+	res, err := RunGrid(plummer(64, 13), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(ref, res.Sys); d > 1e-6 {
+		t.Errorf("grid deviates from reference by %v", d)
+	}
+}
+
+func TestGridSingleHost(t *testing.T) {
+	ref := singleHostReference(t, 32, 15, 0.0625)
+	res, err := RunGrid(plummer(32, 15), 0.0625, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDeviation(ref, res.Sys); d > 1e-12 {
+		t.Errorf("1-host grid deviates by %v", d)
+	}
+}
+
+func TestRingEnergyConservation(t *testing.T) {
+	sys := plummer(64, 17)
+	e0 := sys.TotalEnergy(1.0 / 64)
+	res, err := RunRing(sys.Clone(), 0.25, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Synchronize all particles to a common time for the energy check.
+	snap := res.Sys.Clone()
+	tmax := 0.0
+	for i := 0; i < snap.N; i++ {
+		if snap.Time[i] > tmax {
+			tmax = snap.Time[i]
+		}
+	}
+	for i := 0; i < snap.N; i++ {
+		dt := tmax - snap.Time[i]
+		snap.Pos[i], snap.Vel[i] = hermite.Predict(snap.Pos[i], snap.Vel[i], snap.Acc[i], snap.Jerk[i], snap.Snap[i], dt)
+	}
+	e1 := snap.TotalEnergy(1.0 / 64)
+	if rel := math.Abs((e1 - e0) / e0); rel > 1e-4 {
+		t.Errorf("ring energy error = %v", rel)
+	}
+}
+
+func TestSmallNParallelIsSlower(t *testing.T) {
+	// The paper's core finding (Figures 15-18): at small N, adding hosts
+	// makes the run SLOWER because synchronization dominates.
+	sys1 := plummer(64, 19)
+	r1, err := RunCopy(sys1, 0.0625, testConfig(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys4 := plummer(64, 19)
+	r4, err := RunCopy(sys4, 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.VirtualTime <= r1.VirtualTime {
+		t.Errorf("4 hosts (%.4gs) not slower than 1 host (%.4gs) at N=64",
+			r4.VirtualTime, r1.VirtualTime)
+	}
+}
+
+func TestTunedNICIsFaster(t *testing.T) {
+	// Figure 19 at message level: the Intel 82540EM network makes the
+	// sync-dominated small-N run faster.
+	cfgOld := testConfig(4)
+	cfgNew := testConfig(4)
+	cfgNew.NIC = simnet.Intel82540EM
+	cfgNew.Machine = perfmodel.SingleNode(simnet.Intel82540EM, perfmodel.P4)
+	ro, err := RunCopy(plummer(64, 21), 0.0625, cfgOld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := RunCopy(plummer(64, 21), 0.0625, cfgNew)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.VirtualTime >= ro.VirtualTime {
+		t.Errorf("tuned NIC not faster: %v vs %v", rn.VirtualTime, ro.VirtualTime)
+	}
+}
+
+func TestTrafficCountersPopulated(t *testing.T) {
+	res, err := RunCopy(plummer(32, 23), 0.0625, testConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages == 0 || res.Bytes == 0 {
+		t.Errorf("no traffic recorded: %d msgs %d bytes", res.Messages, res.Bytes)
+	}
+	if res.Steps == 0 || res.Blocks == 0 {
+		t.Errorf("no work recorded: %d steps %d blocks", res.Steps, res.Blocks)
+	}
+	if res.StepsPerSecond() <= 0 {
+		t.Error("non-positive step rate")
+	}
+}
+
+func TestRingAndGridStepCountsMatchCopy(t *testing.T) {
+	// All three algorithms integrate the same system with (nearly) the
+	// same schedule; step counts should agree closely.
+	rc, err := RunCopy(plummer(48, 25), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := RunRing(plummer(48, 25), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := RunGrid(plummer(48, 25), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pair := range [][2]int64{{rc.Steps, rr.Steps}, {rc.Steps, rg.Steps}} {
+		ratio := float64(pair[0]) / float64(pair[1])
+		if ratio < 0.9 || ratio > 1.1 {
+			t.Errorf("step counts diverge: %d vs %d", pair[0], pair[1])
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() *Result {
+		r, err := RunGrid(plummer(48, 27), 0.0625, testConfig(4))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	a, b := run(), run()
+	if a.VirtualTime != b.VirtualTime || a.Messages != b.Messages {
+		t.Error("non-deterministic co-simulation")
+	}
+	for i := 0; i < a.Sys.N; i++ {
+		if a.Sys.Pos[i] != b.Sys.Pos[i] {
+			t.Fatalf("non-deterministic particle %d", i)
+		}
+	}
+}
+
+func TestRingRejectsTooFewParticles(t *testing.T) {
+	if _, err := RunRing(plummer(2, 1), 0.01, testConfig(4)); err == nil {
+		t.Error("ring accepted N < hosts")
+	}
+}
+
+func TestGridCommunicationScalesBetterThanCopy(t *testing.T) {
+	// The grid's point of existence: per-host communication O(N/r) vs the
+	// copy algorithm's O(N). With 4 hosts (r=2) the grid should move
+	// fewer total bytes over the run.
+	rc, err := RunCopy(plummer(128, 29), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rg, err := RunGrid(plummer(128, 29), 0.0625, testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Bytes >= rc.Bytes {
+		t.Errorf("grid bytes %d not below copy bytes %d", rg.Bytes, rc.Bytes)
+	}
+}

@@ -1,0 +1,182 @@
+package parallel
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/des"
+	"grape6/internal/direct"
+	"grape6/internal/hermite"
+	"grape6/internal/nbody"
+	"grape6/internal/simnet"
+	"grape6/internal/vec"
+)
+
+// ipacket is a predicted i-particle circulating around the ring,
+// accumulating partial forces host by host.
+type ipacket struct {
+	id      int
+	x, v    vec.V3
+	acc     vec.V3
+	jerk    vec.V3
+	pot     float64
+	ownerIx int // slot index on the owning host
+}
+
+// ipacketBytes is the wire size of one packet: 13 floats + 2 ints ≈ 120.
+const ipacketBytes = 120
+
+// RunRing executes the "ring" algorithm (Section 3.2): each host owns a
+// disjoint N/p subset; the block's predicted particles travel around the
+// ring, picking up the partial force from each host's local particles, and
+// return to their owners after p hops for correction. Host-host and
+// host-GRAPE communication per block step is independent of the host
+// count — the property that made the simple configuration of Figure 10
+// communication-bound.
+//
+// The host count must be a power of two (the butterfly min-reduction that
+// finds the global block time requires it).
+func RunRing(sys *nbody.System, until float64, cfg Config) (*Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !isPow2(cfg.Hosts) {
+		return nil, fmt.Errorf("parallel: ring algorithm needs a power-of-two host count, got %d", cfg.Hosts)
+	}
+	if sys.N < cfg.Hosts {
+		return nil, fmt.Errorf("parallel: %d particles cannot be split over %d hosts", sys.N, cfg.Hosts)
+	}
+	if err := initForces(sys, cfg); err != nil {
+		return nil, err
+	}
+
+	eng := des.New()
+	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
+	res := &Result{}
+
+	// Disjoint contiguous ownership.
+	parts := make([]*nbody.System, cfg.Hosts)
+	backends := make([]hermite.Backend, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		lo := h * sys.N / cfg.Hosts
+		hi := (h + 1) * sys.N / cfg.Hosts
+		idxs := make([]int, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			idxs = append(idxs, i)
+		}
+		parts[h] = sys.Subset(idxs)
+		backends[h] = cfg.backendFor(h)
+		backends[h].Load(parts[h])
+	}
+
+	done := make([]*nbody.System, cfg.Hosts)
+	for h := 0; h < cfg.Hosts; h++ {
+		h := h
+		eng.Spawn(fmt.Sprintf("ring%d", h), func(p *des.Proc) {
+			ringHost(p, h, cfg, net, parts[h], backends[h], until, res)
+			done[h] = parts[h]
+		})
+	}
+	eng.RunAll()
+	if eng.Live() != 0 {
+		return nil, fmt.Errorf("parallel: %d ring hosts deadlocked", eng.Live())
+	}
+
+	// Reassemble the global system in id order.
+	out := nbody.New(sys.N)
+	for _, part := range done {
+		for i := 0; i < part.N; i++ {
+			id := part.ID[i]
+			out.ID[id] = id
+			out.Mass[id] = part.Mass[i]
+			out.Pos[id] = part.Pos[i]
+			out.Vel[id] = part.Vel[i]
+			out.Acc[id] = part.Acc[i]
+			out.Jerk[id] = part.Jerk[i]
+			out.Snap[id] = part.Snap[i]
+			out.Crack[id] = part.Crack[i]
+			out.Pot[id] = part.Pot[i]
+			out.Time[id] = part.Time[i]
+			out.Step[id] = part.Step[i]
+		}
+	}
+	res.Sys = out
+	res.VirtualTime = eng.Now()
+	res.Messages = net.MessagesSent
+	res.Bytes = net.BytesSent
+	return res, nil
+}
+
+func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
+	S *nbody.System, backend hermite.Backend, until float64, res *Result) {
+
+	m := cfg.Machine
+	next := (h + 1) % cfg.Hosts
+	round := 0
+	for {
+		local := math.Inf(1)
+		if S.N > 0 {
+			local = S.MinTime()
+		}
+		t := allreduceMin(p, net, h, cfg.Hosts, round*4096+2048, local)
+		if t > until {
+			break
+		}
+
+		// Build this host's packets.
+		mine := blockAt(S, t)
+		packets := make([]ipacket, 0, len(mine))
+		for _, i := range mine {
+			dt := t - S.Time[i]
+			xp, vp := hermite.Predict(S.Pos[i], S.Vel[i], S.Acc[i], S.Jerk[i], S.Snap[i], dt)
+			packets = append(packets, ipacket{id: S.ID[i], x: xp, v: vp, ownerIx: i})
+		}
+
+		// p stages: compute partial forces on the held packet list from
+		// the local subset, then pass it along the ring.
+		held := packets
+		for stage := 0; stage < cfg.Hosts; stage++ {
+			if len(held) > 0 && S.N > 0 {
+				ids := make([]int, len(held))
+				xs := make([]vec.V3, len(held))
+				vs := make([]vec.V3, len(held))
+				for k, pk := range held {
+					ids[k], xs[k], vs[k] = pk.id, pk.x, pk.v
+				}
+				fs := backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+				for k := range held {
+					held[k].acc = held[k].acc.Add(fs[k].Acc)
+					held[k].jerk = held[k].jerk.Add(fs[k].Jerk)
+					held[k].pot += fs[k].Pot
+				}
+				p.Sleep(m.GrapeTimeHost(len(held), S.N) + m.LinkTime(len(held)))
+			}
+			net.Send(h, next, round*4096+stage, len(held)*ipacketBytes, held)
+			msg := net.Recv(p, h, round*4096+stage)
+			held = msg.Payload.([]ipacket)
+		}
+
+		// After p hops the packets are home with complete forces.
+		if len(held) != len(packets) {
+			panic("parallel: ring packets lost")
+		}
+		for _, pk := range held {
+			f := direct.Force{Acc: pk.acc, Jerk: pk.jerk, Pot: pk.pot, NN: -1}
+			correctParticle(S, pk.ownerIx, f, t, cfg.Params)
+		}
+		if len(held) > 0 {
+			p.Sleep(m.HostWork(len(held), S.N*cfg.Hosts))
+			idxs := make([]int, len(held))
+			for k, pk := range held {
+				idxs[k] = pk.ownerIx
+			}
+			backend.Update(S, idxs)
+		}
+
+		if h == 0 {
+			res.Blocks++
+		}
+		res.Steps += int64(len(held)) // each host counts its own
+		round++
+	}
+}

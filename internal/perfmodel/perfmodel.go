@@ -1,0 +1,365 @@
+// Package perfmodel implements the performance models of Section 4 of the
+// paper: the decomposition of the time per particle step into host,
+// communication, GRAPE and synchronization components (eq. 10 and its
+// multi-node extensions), the cache-aware host-time model of Figure 14,
+// and the machine configurations (1 host … 4 clusters × 4 hosts) whose
+// curves Figures 13-19 plot.
+//
+// The model is analytic: given a machine configuration, the particle count
+// N and a block-step workload (mean block size, steps per second), it
+// predicts the wall-clock cost per block and the sustained speed under the
+// paper's 57-flops accounting. The trace-driven simulator in
+// internal/timing evaluates the same model block by block.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/simnet"
+	"grape6/internal/units"
+)
+
+// HostProfile models the frontend's per-particle integration cost with the
+// cache effect of Figure 14: the cost per step is StepTime plus MemTime
+// weighted by the cache-miss fraction of the particle working set.
+type HostProfile struct {
+	Name             string
+	StepTime         float64 // seconds per particle step, cache-hot
+	MemTime          float64 // additional seconds per step at 100% miss
+	CacheBytes       float64 // effective cache size
+	BytesPerParticle float64 // working-set bytes per particle
+}
+
+// The two host generations of the tuning study (Section 4.4).
+var (
+	// Athlon is the original frontend: AMD Athlon XP 1800+ (Section 2.2).
+	// The asymptotic ~5 µs/step is calibrated against Figure 13's
+	// single-node speed at N = 2×10^5 (~1.3 Tflops of a 3.94 peak implies
+	// ~6 µs of non-GRAPE time per step).
+	Athlon = HostProfile{
+		Name:             "AthlonXP1800",
+		StepTime:         1.6e-6,
+		MemTime:          3.6e-6,
+		CacheBytes:       256e3,
+		BytesPerParticle: 200,
+	}
+	// P4 is the tuned frontend: Intel P4 2.53 GHz overclocked to 2.85 GHz.
+	P4 = HostProfile{
+		Name:             "P4-2.85",
+		StepTime:         1.0e-6,
+		MemTime:          2.2e-6,
+		CacheBytes:       512e3,
+		BytesPerParticle: 200,
+	}
+)
+
+// MissFraction returns the cache-miss fraction for an N-particle working
+// set: 0 when it fits in cache, approaching 1 when it far exceeds it.
+func (h HostProfile) MissFraction(n int) float64 {
+	ws := float64(n) * h.BytesPerParticle
+	if ws <= 0 {
+		return 0
+	}
+	excess := ws - h.CacheBytes
+	if excess <= 0 {
+		return 0
+	}
+	return excess / (excess + h.CacheBytes)
+}
+
+// PerStep returns the host time per particle step at particle count N —
+// the Figure 14 dotted-curve model. The dashed-curve (constant) variant is
+// PerStepConstant.
+func (h HostProfile) PerStep(n int) float64 {
+	return h.StepTime + h.MemTime*h.MissFraction(n)
+}
+
+// PerStepConstant is the Figure 14 dashed-curve model: a constant host
+// time, the large-N asymptote.
+func (h HostProfile) PerStepConstant() float64 {
+	return h.StepTime + h.MemTime
+}
+
+// Link models the host↔GRAPE interface (PCI on the production hosts).
+type Link struct {
+	DMASetup    float64 // fixed cost to start a DMA transaction, seconds
+	Bandwidth   float64 // bytes per second
+	IBytes      int     // bytes sent per i-particle (position, velocity, ...)
+	ResultBytes int     // bytes returned per force result
+	JBytes      int     // bytes per j-particle memory update
+}
+
+// PCI is the production 32-bit/33 MHz PCI interface.
+var PCI = Link{
+	DMASetup:    25e-6,
+	Bandwidth:   133e6,
+	IBytes:      72,
+	ResultBytes: 56,
+	JBytes:      72,
+}
+
+// GrapeHW carries the hardware constants that set the force-calculation
+// time (the chip and board parameters of Sections 2-3).
+type GrapeHW struct {
+	ClockHz       float64
+	Pipelines     int
+	VMP           int
+	ChipsPerBoard int
+	PipelineDepth int
+}
+
+// ProductionHW is the GRAPE-6 processor chip and board.
+var ProductionHW = GrapeHW{
+	ClockHz:       90e6,
+	Pipelines:     6,
+	VMP:           8,
+	ChipsPerBoard: 32,
+	PipelineDepth: 30,
+}
+
+// Grape4HW abstracts the predecessor machine (Section 3) into the same
+// cost model: the full 1-Tflops GRAPE-4 is represented as 9 board-level
+// units sharing the j-particles (j split 9 ways), with a machine-wide
+// i-parallelism of 384 — the "400" the paper quotes — at a 32 MHz clock
+// streaming one j-particle per 6 cycles. Peak: 384/6 × 32 MHz × 57 ≈
+// 1.05 Tflops, the paper's "1-Tflops GRAPE-4".
+var Grape4HW = GrapeHW{
+	ClockHz:       32e6,
+	Pipelines:     64, // 4 clusters × 16 chip-groups sharing each j-stream
+	VMP:           6,  // cycles per streamed j-particle
+	ChipsPerBoard: 1,
+	PipelineDepth: 50,
+}
+
+// Grape4Machine is the whole predecessor system: one mid-90s host on a
+// shared I/O bus driving 9 j-partitions (Section 3.2: "4 clusters are
+// connected to a single host, sharing one I/O bus").
+func Grape4Machine() Machine {
+	return Machine{
+		Name:       "GRAPE-4 (1 host, full machine)",
+		Clusters:   1,
+		HostsPerCl: 1,
+		// Nine j-partitions ("boards" in the abstract model).
+		BoardsPerHost: 9,
+		HW:            Grape4HW,
+		Link:          Link{DMASetup: 40e-6, Bandwidth: 30e6, IBytes: 107 / 8 * 8, ResultBytes: 56, JBytes: 72},
+		NIC:           simnet.NIC{Name: "single-host", RTT: 1e-6, Bandwidth: 1e9},
+		Host: HostProfile{
+			Name: "mid-90s RISC host", StepTime: 4e-6, MemTime: 8e-6,
+			CacheBytes: 1e6, BytesPerParticle: 200,
+		},
+	}
+}
+
+// IBatch is the number of i-particles served per pass (48 in production).
+func (g GrapeHW) IBatch() int { return g.Pipelines * g.VMP }
+
+// Machine is a full system configuration: clusters of hosts, each host
+// with its GRAPE boards, host network and frontend profile.
+type Machine struct {
+	Name          string
+	Clusters      int
+	HostsPerCl    int
+	BoardsPerHost int
+	HW            GrapeHW
+	Link          Link
+	NIC           simnet.NIC
+	Host          HostProfile
+}
+
+// Validate reports configuration errors.
+func (m Machine) Validate() error {
+	if m.Clusters <= 0 || m.HostsPerCl <= 0 || m.BoardsPerHost <= 0 {
+		return fmt.Errorf("perfmodel: non-positive machine shape %d/%d/%d",
+			m.Clusters, m.HostsPerCl, m.BoardsPerHost)
+	}
+	if m.HW.ClockHz <= 0 || m.HW.Pipelines <= 0 || m.HW.VMP <= 0 || m.HW.ChipsPerBoard <= 0 {
+		return fmt.Errorf("perfmodel: invalid hardware constants %+v", m.HW)
+	}
+	if m.Link.Bandwidth <= 0 {
+		return fmt.Errorf("perfmodel: invalid link %+v", m.Link)
+	}
+	return m.NIC.Validate()
+}
+
+// Hosts returns the total number of host computers.
+func (m Machine) Hosts() int { return m.Clusters * m.HostsPerCl }
+
+// TotalChips returns the number of pipeline chips in the machine.
+func (m Machine) TotalChips() int {
+	return m.Hosts() * m.BoardsPerHost * m.HW.ChipsPerBoard
+}
+
+// PeakFlops returns the machine's peak under the 57-flops convention.
+func (m Machine) PeakFlops() float64 {
+	return float64(m.TotalChips()) * 57 * float64(m.HW.Pipelines) * m.HW.ClockHz
+}
+
+// Standard configurations of the paper's benchmark section. The 1-, 2- and
+// 4-host systems are single-cluster (Figure 15); 8 and 16 hosts span 2 and
+// 4 clusters (Figure 17).
+func SingleNode(nic simnet.NIC, host HostProfile) Machine {
+	return Machine{Name: "1-host 4-board", Clusters: 1, HostsPerCl: 1,
+		BoardsPerHost: 4, HW: ProductionHW, Link: PCI, NIC: nic, Host: host}
+}
+
+func MultiNode(hosts int, nic simnet.NIC, host HostProfile) Machine {
+	return Machine{Name: fmt.Sprintf("%d-host single-cluster", hosts),
+		Clusters: 1, HostsPerCl: hosts,
+		BoardsPerHost: 4, HW: ProductionHW, Link: PCI, NIC: nic, Host: host}
+}
+
+func MultiCluster(clusters int, nic simnet.NIC, host HostProfile) Machine {
+	return Machine{Name: fmt.Sprintf("%d-cluster (%d hosts)", clusters, clusters*4),
+		Clusters: clusters, HostsPerCl: 4,
+		BoardsPerHost: 4, HW: ProductionHW, Link: PCI, NIC: nic, Host: host}
+}
+
+// BlockCost is the wall-clock decomposition of one block step, the
+// multi-node generalization of eq. (10).
+type BlockCost struct {
+	Host  float64 // frontend integration work for its share of the block
+	Comm  float64 // host↔GRAPE DMA and transfer
+	Grape float64 // pipeline force-calculation time
+	Sync  float64 // host-host synchronization and (multi-cluster) exchange
+}
+
+// Total returns the block's wall-clock time.
+func (b BlockCost) Total() float64 { return b.Host + b.Comm + b.Grape + b.Sync }
+
+// BlockTime predicts the cost of one block step with nb particles in a
+// system of N particles.
+//
+// Work distribution (Sections 3.2, 4.2, 4.3): within a cluster the 2D
+// board network lets each host integrate nb/hosts particles while its
+// boards hold N/hosts j-particles each (single-cluster systems, h = total
+// hosts) — for multi-cluster systems each cluster holds a full copy and
+// integrates nb/clusters, so each host integrates nb/(hosts) and its
+// boards hold N/HostsPerCl j-particles. After the block, single-cluster
+// systems synchronize with a butterfly barrier; multi-cluster systems also
+// exchange the updated particles between clusters over the host network,
+// with the cluster's HostsPerCl hosts sharing the transfer (Section 2:
+// "the bandwidth is increased by a factor of four").
+func (m Machine) BlockTime(n, nb int) BlockCost {
+	if nb <= 0 || n <= 0 {
+		return BlockCost{}
+	}
+	hosts := m.Hosts()
+	nbLocal := ceilDiv(nb, hosts)
+
+	// j-particles per chip: in the 2D board grid, the boards of one host's
+	// row hold the column subsets — collectively the full system — so each
+	// host's chipsPerHost chips share all N particles. (The replication
+	// across rows/clusters is what buys the parallelism; Section 3.2.)
+	chipsPerHost := m.BoardsPerHost * m.HW.ChipsPerBoard
+	jPerChip := ceilDiv(n, chipsPerHost)
+
+	var c BlockCost
+	c.Host = float64(nbLocal) * m.Host.PerStep(n)
+
+	// Host↔GRAPE: one DMA round trip per block plus per-particle traffic
+	// (send i-particles, fetch results, write back updated j-particles).
+	bytes := nbLocal * (m.Link.IBytes + m.Link.ResultBytes + m.Link.JBytes)
+	c.Comm = m.Link.DMASetup + float64(bytes)/m.Link.Bandwidth
+
+	// GRAPE pipelines.
+	passes := ceilDiv(nbLocal, m.HW.IBatch())
+	cycles := float64(passes) * (float64(m.HW.VMP)*float64(jPerChip) + float64(m.HW.PipelineDepth))
+	c.Grape = cycles / m.HW.ClockHz
+
+	// Synchronization: two butterfly barriers per block step — one to
+	// agree on the next block time, one to complete the update exchange
+	// before the next force evaluation (the co-simulation in
+	// internal/parallel performs exactly these two rounds).
+	if hosts > 1 {
+		c.Sync = 2 * m.barrierTime(hosts, 8)
+	}
+	if m.Clusters > 1 {
+		// Copy-algorithm exchange: every cluster must receive the
+		// particles updated on the other clusters; each cluster's hosts
+		// share the outgoing transfer.
+		perCluster := ceilDiv(nb, m.Clusters)
+		outBytes := float64(perCluster*m.Link.JBytes) * float64(m.Clusters-1)
+		c.Sync += outBytes/(m.NIC.Bandwidth*float64(m.HostsPerCl)) + m.NIC.RTT/2
+	}
+	return c
+}
+
+// barrierTime is the butterfly barrier cost among h hosts.
+func (m Machine) barrierTime(h, bytes int) float64 {
+	rounds := 0
+	for bit := 1; bit < h; bit <<= 1 {
+		rounds++
+	}
+	return float64(rounds) * m.NIC.OneWay(bytes)
+}
+
+// TimePerStep returns the predicted wall-clock time per individual
+// particle step for blocks of mean size nbMean — the quantity plotted in
+// Figures 14, 16 and 18.
+func (m Machine) TimePerStep(n int, nbMean float64) float64 {
+	if nbMean < 1 {
+		nbMean = 1
+	}
+	c := m.BlockTime(n, int(math.Round(nbMean)))
+	return c.Total() / nbMean
+}
+
+// Speed returns the predicted sustained calculation speed (flops/s) under
+// eq. (9): S = 57·N·n_steps with n_steps = 1/TimePerStep.
+func (m Machine) Speed(n int, nbMean float64) float64 {
+	t := m.TimePerStep(n, nbMean)
+	if t <= 0 {
+		return 0
+	}
+	return units.Speed(n, 1/t)
+}
+
+// Efficiency returns Speed/PeakFlops.
+func (m Machine) Efficiency(n int, nbMean float64) float64 {
+	return m.Speed(n, nbMean) / m.PeakFlops()
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return 0
+	}
+	return (a + b - 1) / b
+}
+
+// The granular per-host cost pieces below are used by the message-level
+// co-simulation (internal/parallel), which charges each simulated host for
+// its own compute while the network costs emerge from simnet traffic.
+
+// GrapeTimeHost returns the force-pipeline time for ni i-particles against
+// njStored j-particles spread over ONE host's attached chips.
+func (m Machine) GrapeTimeHost(ni, njStored int) float64 {
+	if ni <= 0 || njStored <= 0 {
+		return 0
+	}
+	chipsPerHost := m.BoardsPerHost * m.HW.ChipsPerBoard
+	jPerChip := ceilDiv(njStored, chipsPerHost)
+	passes := ceilDiv(ni, m.HW.IBatch())
+	cycles := float64(passes) * (float64(m.HW.VMP)*float64(jPerChip) + float64(m.HW.PipelineDepth))
+	return cycles / m.HW.ClockHz
+}
+
+// HostWork returns the frontend time to integrate nSteps particle steps at
+// system size N (cache model included).
+func (m Machine) HostWork(nSteps, n int) float64 {
+	if nSteps <= 0 {
+		return 0
+	}
+	return float64(nSteps) * m.Host.PerStep(n)
+}
+
+// LinkTime returns the host↔GRAPE transfer cost for a block of ni
+// i-particles (one DMA setup plus per-particle traffic).
+func (m Machine) LinkTime(ni int) float64 {
+	if ni <= 0 {
+		return 0
+	}
+	bytes := ni * (m.Link.IBytes + m.Link.ResultBytes + m.Link.JBytes)
+	return m.Link.DMASetup + float64(bytes)/m.Link.Bandwidth
+}

@@ -1,0 +1,233 @@
+// Package simnet simulates the host-to-host network of the GRAPE-6
+// installation: Gigabit Ethernet with the NIC/driver combinations the
+// paper's tuning study measured (Section 4.4). Messages travel in the
+// virtual time of a des.Engine with a latency/bandwidth cost model, and
+// each sender's NIC serializes its outgoing transfers — the two effects
+// that shape Figures 15-19.
+package simnet
+
+import (
+	"fmt"
+
+	"grape6/internal/des"
+)
+
+// NIC is a network-interface profile: half-RTT latency plus streaming
+// bandwidth. The three measured profiles come from Section 4.4 of the
+// paper; Myrinet is the "obvious solution" the authors could not afford,
+// with the 5-10× lower latency they quote.
+type NIC struct {
+	Name      string
+	RTT       float64 // round-trip latency in seconds
+	Bandwidth float64 // payload bandwidth in bytes per second
+}
+
+// The paper's measured NIC profiles.
+var (
+	// NS83820 is the original setup: Planex GN-1000TC on an Athlon host.
+	// "round-trip latency was around 200µs, and the peak bandwidth was
+	// 60 MB/s."
+	NS83820 = NIC{Name: "NS83820+Athlon", RTT: 200e-6, Bandwidth: 60e6}
+
+	// Tigon2 is the Netgear GA621T: "somewhat better throughput (85MB/s),
+	// but not much improvement in the latency."
+	Tigon2 = NIC{Name: "Tigon2", RTT: 180e-6, Bandwidth: 85e6}
+
+	// Intel82540EM is the tuned setup on an overclocked P4: "round-trip
+	// latency was cut down to 67µs, and the throughput is increased to
+	// 105MB/s."
+	Intel82540EM = NIC{Name: "Intel82540EM+P4", RTT: 67e-6, Bandwidth: 105e6}
+
+	// Myrinet is the hypothetical upgrade: "Myrinet would provide the
+	// latency 5-10 times shorter than usual TCP/IP over Ethernet."
+	Myrinet = NIC{Name: "Myrinet-class", RTT: 25e-6, Bandwidth: 240e6}
+
+	// KernelBypass models the paper's software alternative ("communication
+	// software which bypasses the TCP/IP protocol layer, such as GAMMA or
+	// VIA"): the NS83820 wire with roughly half the round-trip spent in
+	// the kernel stack removed.
+	KernelBypass = NIC{Name: "NS83820+GAMMA/VIA", RTT: 90e-6, Bandwidth: 70e6}
+)
+
+// Validate reports profile errors.
+func (n NIC) Validate() error {
+	if n.RTT < 0 || n.Bandwidth <= 0 {
+		return fmt.Errorf("simnet: invalid NIC profile %+v", n)
+	}
+	return nil
+}
+
+// TransferTime returns the serialization time of a payload.
+func (n NIC) TransferTime(bytes int) float64 {
+	return float64(bytes) / n.Bandwidth
+}
+
+// OneWay returns the end-to-end time of a single message: half the RTT
+// plus the serialization time.
+func (n NIC) OneWay(bytes int) float64 {
+	return n.RTT/2 + n.TransferTime(bytes)
+}
+
+// Message is a delivered payload.
+type Message struct {
+	From    int
+	Tag     int
+	Bytes   int
+	Payload interface{}
+	SentAt  float64
+}
+
+type mailKey struct {
+	to  int
+	tag int
+}
+
+// Network connects n ranks with a shared NIC profile.
+type Network struct {
+	eng  *des.Engine
+	nic  NIC
+	n    int
+	mail map[mailKey][]Message
+	wait map[mailKey]*des.Waiter
+
+	// busyUntil serializes each rank's outgoing transfers.
+	busyUntil []float64
+
+	// Traffic counters.
+	MessagesSent int64
+	BytesSent    int64
+}
+
+// New builds a network of n ranks on the given engine.
+func New(eng *des.Engine, nic NIC, n int) *Network {
+	if err := nic.Validate(); err != nil {
+		panic(err)
+	}
+	if n <= 0 {
+		panic(fmt.Sprintf("simnet: non-positive rank count %d", n))
+	}
+	return &Network{
+		eng:       eng,
+		nic:       nic,
+		n:         n,
+		mail:      make(map[mailKey][]Message),
+		wait:      make(map[mailKey]*des.Waiter),
+		busyUntil: make([]float64, n),
+	}
+}
+
+// NIC returns the network's profile.
+func (net *Network) NIC() NIC { return net.nic }
+
+// Size returns the number of ranks.
+func (net *Network) Size() int { return net.n }
+
+func (net *Network) checkRank(r int) {
+	if r < 0 || r >= net.n {
+		panic(fmt.Sprintf("simnet: rank %d out of range [0,%d)", r, net.n))
+	}
+}
+
+// Send transmits a message from rank `from` to rank `to`. It does not
+// block the calling process (DMA semantics), but the sender's NIC is
+// occupied for the serialization time, so back-to-back sends queue up.
+// Delivery happens at send-start + serialization + latency.
+//
+// Ownership: the payload is delivered by reference at a LATER virtual
+// time. The sender must not mutate a payload (or a slice's backing array)
+// after Send — ship a copy if the local value keeps evolving.
+func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
+	net.checkRank(from)
+	net.checkRank(to)
+	if bytes < 0 {
+		panic("simnet: negative message size")
+	}
+	now := net.eng.Now()
+	start := now
+	if net.busyUntil[from] > start {
+		start = net.busyUntil[from]
+	}
+	done := start + net.nic.TransferTime(bytes)
+	net.busyUntil[from] = done
+	arrive := done + net.nic.RTT/2
+
+	msg := Message{From: from, Tag: tag, Bytes: bytes, Payload: payload, SentAt: now}
+	net.MessagesSent++
+	net.BytesSent += int64(bytes)
+
+	key := mailKey{to: to, tag: tag}
+	net.eng.At(arrive, func() {
+		net.mail[key] = append(net.mail[key], msg)
+		if w := net.wait[key]; w != nil {
+			delete(net.wait, key)
+			w.Wake(net.eng.Now())
+		}
+	})
+}
+
+// Recv blocks the process until a message with the given tag arrives for
+// rank `to`, and returns it. Messages with equal tags are delivered in
+// arrival order. At most one process may wait on a (rank, tag) pair at a
+// time.
+func (net *Network) Recv(p *des.Proc, to, tag int) Message {
+	net.checkRank(to)
+	key := mailKey{to: to, tag: tag}
+	for len(net.mail[key]) == 0 {
+		if net.wait[key] != nil {
+			panic(fmt.Sprintf("simnet: second receiver on rank %d tag %d", to, tag))
+		}
+		w := p.NewWaiter()
+		net.wait[key] = w
+		w.Park()
+	}
+	q := net.mail[key]
+	msg := q[0]
+	copy(q, q[1:])
+	net.mail[key] = q[:len(q)-1]
+	return msg
+}
+
+// SendRecv sends to `peer` and then receives from any rank with the given
+// tag — the building block of butterfly exchanges.
+func (net *Network) SendRecv(p *des.Proc, self, peer, tag, bytes int, payload interface{}) Message {
+	net.Send(self, peer, tag, bytes, payload)
+	return net.Recv(p, self, tag)
+}
+
+// Butterfly performs a power-of-two butterfly barrier/allreduce pattern
+// among size ranks: ceil(log2 size) rounds of pairwise exchanges, the
+// synchronization structure the paper's code uses ("synchronization is
+// done through butterfly message exchange using TCP/IP"). The merge
+// callback, if non-nil, folds the peer's payload into the local value
+// after each round; the final local value is returned.
+//
+// size must be a power of two (the machine's host counts are 1, 2, 4, 8,
+// 16); rank must be < size.
+func (net *Network) Butterfly(p *des.Proc, rank, size, tagBase, bytes int,
+	local interface{}, merge func(local, remote interface{}) interface{}) interface{} {
+	if size&(size-1) != 0 || size <= 0 {
+		panic(fmt.Sprintf("simnet: butterfly size %d not a power of two", size))
+	}
+	if rank < 0 || rank >= size {
+		panic(fmt.Sprintf("simnet: butterfly rank %d out of range", rank))
+	}
+	for bit := 1; bit < size; bit <<= 1 {
+		peer := rank ^ bit
+		msg := net.SendRecv(p, rank, peer, tagBase+bit, bytes, local)
+		if merge != nil {
+			local = merge(local, msg.Payload)
+		}
+	}
+	return local
+}
+
+// BarrierTime returns the analytic duration of a butterfly barrier among
+// size ranks exchanging `bytes`-sized messages: ceil(log2 size) rounds of
+// one-way message time. Used by the performance model for cross-checks.
+func (net *Network) BarrierTime(size, bytes int) float64 {
+	rounds := 0
+	for bit := 1; bit < size; bit <<= 1 {
+		rounds++
+	}
+	return float64(rounds) * net.nic.OneWay(bytes)
+}

@@ -1,0 +1,109 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+
+	"grape6/internal/model"
+	"grape6/internal/xrand"
+)
+
+func TestRoundTrip(t *testing.T) {
+	sys := model.Plummer(100, xrand.New(1))
+	for i := 0; i < sys.N; i++ {
+		sys.Time[i] = float64(i) / 128
+		sys.Step[i] = 1.0 / 256
+		sys.Pot[i] = -float64(i)
+	}
+	h := Header{N: 100, Time: 0.5, Eps: 1.0 / 64, Step: 12345}
+
+	var buf bytes.Buffer
+	if err := Write(&buf, h, sys); err != nil {
+		t.Fatal(err)
+	}
+	h2, sys2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Errorf("header %+v != %+v", h2, h)
+	}
+	for i := 0; i < sys.N; i++ {
+		if sys.Pos[i] != sys2.Pos[i] || sys.Vel[i] != sys2.Vel[i] ||
+			sys.Time[i] != sys2.Time[i] || sys.Step[i] != sys2.Step[i] ||
+			sys.Pot[i] != sys2.Pot[i] || sys.ID[i] != sys2.ID[i] {
+			t.Fatalf("particle %d not restored exactly", i)
+		}
+	}
+}
+
+func TestHeaderMismatch(t *testing.T) {
+	sys := model.Plummer(10, xrand.New(2))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 11}, sys); err == nil {
+		t.Error("accepted header/system N mismatch")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	sys := model.Plummer(4, xrand.New(3))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 4}, sys); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[0] ^= 0xff
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("accepted corrupted magic")
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	sys := model.Plummer(16, xrand.New(4))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 16, Time: 1}, sys); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Flip one byte in the middle of the particle payload.
+	data[len(data)/2] ^= 0x40
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("corruption not detected")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	sys := model.Plummer(16, xrand.New(5))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 16}, sys); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, _, err := Read(bytes.NewReader(data[:len(data)-10])); err == nil {
+		t.Error("truncation not detected")
+	}
+}
+
+func TestEmptySystem(t *testing.T) {
+	sys := model.Plummer(1, xrand.New(6))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 1}, sys); err != nil {
+		t.Fatal(err)
+	}
+	_, sys2, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys2.N != 1 {
+		t.Errorf("N = %d", sys2.N)
+	}
+}
+
+func TestGarbageInput(t *testing.T) {
+	if _, _, err := Read(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("accepted garbage")
+	}
+	if _, _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Error("accepted empty input")
+	}
+}

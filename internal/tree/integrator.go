@@ -1,0 +1,168 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"grape6/internal/nbody"
+	"grape6/internal/vec"
+)
+
+// Integrator is a shared-timestep kick-drift-kick leapfrog driven by tree
+// forces — the integration scheme of the treecodes the paper compares
+// against (Warren et al.'s ASCI-Red run used shared timesteps; Section 5
+// argues this costs a factor ≳100 in step count for collisional problems
+// because the ratio between the smallest and the harmonic-mean timestep
+// exceeds 100).
+type Integrator struct {
+	Sys *nbody.System
+	Cfg Config
+	DT  float64
+
+	T            float64
+	Steps        int64 // particle steps (N per shared step)
+	Interactions int64 // tree interaction terms evaluated
+
+	acc []vec.V3
+}
+
+// NewIntegrator prepares a leapfrog run with the given shared timestep.
+func NewIntegrator(sys *nbody.System, cfg Config, dt float64) (*Integrator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if dt <= 0 {
+		return nil, fmt.Errorf("tree: non-positive timestep %v", dt)
+	}
+	if err := sys.Validate(); err != nil {
+		return nil, err
+	}
+	it := &Integrator{Sys: sys, Cfg: cfg, DT: dt, acc: make([]vec.V3, sys.N)}
+	if err := it.refreshForces(); err != nil {
+		return nil, err
+	}
+	return it, nil
+}
+
+func (it *Integrator) refreshForces() error {
+	t, err := Build(it.Sys.Pos, it.Sys.Mass, it.Cfg)
+	if err != nil {
+		return err
+	}
+	fs := t.AccelAll(it.Sys.Pos)
+	for i := range fs {
+		it.acc[i] = fs[i].Acc
+		it.Sys.Pot[i] = fs[i].Pot
+		it.Interactions += int64(fs[i].Interactions)
+	}
+	return nil
+}
+
+// Step advances the system by one shared leapfrog step (KDK).
+func (it *Integrator) Step() error {
+	sys := it.Sys
+	h := it.DT / 2
+	for i := 0; i < sys.N; i++ {
+		sys.Vel[i] = sys.Vel[i].AddScaled(h, it.acc[i])
+		sys.Pos[i] = sys.Pos[i].AddScaled(it.DT, sys.Vel[i])
+	}
+	if err := it.refreshForces(); err != nil {
+		return err
+	}
+	for i := 0; i < sys.N; i++ {
+		sys.Vel[i] = sys.Vel[i].AddScaled(h, it.acc[i])
+		sys.Time[i] += it.DT
+	}
+	it.T += it.DT
+	it.Steps += int64(sys.N)
+	return nil
+}
+
+// Run advances until time t (inclusive of the last full step below t).
+func (it *Integrator) Run(t float64) error {
+	for it.T+it.DT <= t+1e-12 {
+		if err := it.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Energy returns kinetic plus (tree-approximated) potential energy.
+func (it *Integrator) Energy() float64 {
+	e := it.Sys.KineticEnergy()
+	for i := 0; i < it.Sys.N; i++ {
+		e += 0.5 * it.Sys.Mass[i] * it.Sys.Pot[i]
+	}
+	return e
+}
+
+// ForceError measures the RMS relative force error of the tree against
+// direct summation over a sample of nSample particles — the accuracy axis
+// of the paper's treecode comparison.
+func ForceError(sys *nbody.System, cfg Config, nSample int) (rms float64, err error) {
+	t, err := Build(sys.Pos, sys.Mass, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if nSample > sys.N {
+		nSample = sys.N
+	}
+	stride := sys.N / nSample
+	if stride < 1 {
+		stride = 1
+	}
+	var sum float64
+	var count int
+	e2 := cfg.Eps * cfg.Eps
+	for i := 0; i < sys.N; i += stride {
+		ft := t.Accel(sys.Pos[i])
+		// Direct reference.
+		var exact vec.V3
+		for j := 0; j < sys.N; j++ {
+			if j == i {
+				continue
+			}
+			d := sys.Pos[j].Sub(sys.Pos[i])
+			r2 := d.Norm2() + e2
+			rinv := 1 / math.Sqrt(r2)
+			exact = exact.AddScaled(sys.Mass[j]*rinv*rinv*rinv, d)
+		}
+		if n := exact.Norm(); n > 0 {
+			rel := ft.Acc.Sub(exact).Norm() / n
+			sum += rel * rel
+			count++
+		}
+	}
+	if count == 0 {
+		return 0, nil
+	}
+	return math.Sqrt(sum / float64(count)), nil
+}
+
+// StepRatio estimates the cost ratio between shared and individual
+// timesteps for a system: the ratio of the harmonic-mean individual
+// timestep to the smallest individual timestep, which is the factor by
+// which a shared-timestep code must over-step the easy particles. The
+// paper states this exceeds 100 for its production runs.
+func StepRatio(steps []float64) float64 {
+	if len(steps) == 0 {
+		return 1
+	}
+	minStep := steps[0]
+	var invSum float64
+	for _, s := range steps {
+		if s <= 0 {
+			continue
+		}
+		if s < minStep {
+			minStep = s
+		}
+		invSum += 1 / s
+	}
+	if invSum == 0 || minStep <= 0 {
+		return 1
+	}
+	harmonic := float64(len(steps)) / invSum
+	return harmonic / minStep
+}

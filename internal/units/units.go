@@ -1,0 +1,105 @@
+// Package units implements the standardised N-body ("Heggie") unit system
+// used by the paper's benchmarks and the conversions to physical units
+// needed by the application examples (Kuiper-belt disk, star clusters).
+//
+// In Heggie units (Heggie & Mathieu 1986) the gravitational constant G = 1,
+// the total mass M = 1, and the total energy of the system E = -1/4. For a
+// system in virial equilibrium this implies kinetic energy T = 1/4,
+// potential energy W = -1/2, virial radius R_v = 1 and crossing time
+// t_cr = 2√2.
+package units
+
+import "math"
+
+// G is the gravitational constant in Heggie units.
+const G = 1.0
+
+// TotalMass is the system mass in Heggie units.
+const TotalMass = 1.0
+
+// TotalEnergy is the standard total energy in Heggie units.
+const TotalEnergy = -0.25
+
+// VirialRadius is the virial radius implied by E = -1/4 and M = 1.
+const VirialRadius = 1.0
+
+// CrossingTime is the standard crossing time 2√2 in Heggie units.
+var CrossingTime = 2 * math.Sqrt2
+
+// RelaxationTime returns the half-mass two-body relaxation time of an
+// N-body system in Heggie units, using the standard Spitzer coefficient
+// with Coulomb logarithm ln(γN), γ = 0.11. This is the timescale that makes
+// collisional simulations expensive (cost ∝ N/log N per relaxation time;
+// see the paper's introduction).
+func RelaxationTime(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	nf := float64(n)
+	lnLambda := math.Log(0.11 * nf)
+	if lnLambda < 1 {
+		lnLambda = 1
+	}
+	// t_rh = 0.138 N / ln(0.11 N) × (r_h³/(G M))^{1/2}, r_h ≈ 0.78 R_v.
+	rh := 0.78 * VirialRadius
+	return 0.138 * nf / lnLambda * math.Sqrt(rh*rh*rh/(G*TotalMass))
+}
+
+// Softening choices evaluated in the paper's Section 4.
+type SofteningKind int
+
+const (
+	// SoftConstant is ε = 1/64.
+	SoftConstant SofteningKind = iota
+	// SoftNDependent is ε = 1/[8(2N)^{1/3}].
+	SoftNDependent
+	// SoftOverN is ε = 4/N.
+	SoftOverN
+)
+
+// String returns the paper's notation for the softening choice.
+func (k SofteningKind) String() string {
+	switch k {
+	case SoftConstant:
+		return "eps=1/64"
+	case SoftNDependent:
+		return "eps=1/[8(2N)^1/3]"
+	case SoftOverN:
+		return "eps=4/N"
+	default:
+		return "eps=?"
+	}
+}
+
+// Softening returns the softening length ε for the given choice and N.
+// All three choices coincide (ε = 1/64) at N = 256, as noted in Section 4.
+func Softening(k SofteningKind, n int) float64 {
+	switch k {
+	case SoftConstant:
+		return 1.0 / 64.0
+	case SoftNDependent:
+		return 1.0 / (8.0 * math.Cbrt(2.0*float64(n)))
+	case SoftOverN:
+		return 4.0 / float64(n)
+	default:
+		return 1.0 / 64.0
+	}
+}
+
+// FlopsPerInteraction is the paper's accounting convention: 38 operations
+// for the pairwise force and potential (following Warren et al.) plus 19
+// for the time derivative, 57 in total (Section 4, eq. 9).
+const FlopsPerInteraction = 57
+
+// Speed returns the calculation speed S = 57·N·n_steps of eq. (9) in flops
+// per second, given the particle count and the average number of individual
+// steps performed per second.
+func Speed(n int, stepsPerSecond float64) float64 {
+	return FlopsPerInteraction * float64(n) * stepsPerSecond
+}
+
+// Gflops and Tflops convert a flops value for reporting.
+func Gflops(flops float64) float64 { return flops / 1e9 }
+
+// Tflops converts a flops value to Tflops.
+func Tflops(flops float64) float64 { return flops / 1e12 }

@@ -1,0 +1,119 @@
+package units
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSofteningCoincidesAt256(t *testing.T) {
+	// Section 4: "for N = 256, all three choices of the softening give the
+	// same value."
+	want := 1.0 / 64.0
+	for _, k := range []SofteningKind{SoftConstant, SoftNDependent, SoftOverN} {
+		got := Softening(k, 256)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("Softening(%v, 256) = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestSofteningConstant(t *testing.T) {
+	for _, n := range []int{16, 1024, 1 << 20} {
+		if got := Softening(SoftConstant, n); got != 1.0/64.0 {
+			t.Errorf("constant softening at N=%d: %v", n, got)
+		}
+	}
+}
+
+func TestSofteningScaling(t *testing.T) {
+	// ε = 1/[8(2N)^{1/3}] halves when N grows by 8.
+	a := Softening(SoftNDependent, 1000)
+	b := Softening(SoftNDependent, 8000)
+	if math.Abs(a/b-2) > 1e-12 {
+		t.Errorf("N-dependent softening ratio = %v, want 2", a/b)
+	}
+	// ε = 4/N is inversely proportional to N.
+	c := Softening(SoftOverN, 1000)
+	d := Softening(SoftOverN, 4000)
+	if math.Abs(c/d-4) > 1e-12 {
+		t.Errorf("4/N softening ratio = %v, want 4", c/d)
+	}
+}
+
+func TestSofteningMonotone(t *testing.T) {
+	prev := math.Inf(1)
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		e := Softening(SoftOverN, n)
+		if e >= prev {
+			t.Errorf("4/N softening not decreasing at N=%d", n)
+		}
+		prev = e
+	}
+}
+
+func TestSpeedEquation(t *testing.T) {
+	// Eq. (9): S = 57 N n_steps.
+	if got := Speed(1000, 100); got != 57*1000*100 {
+		t.Errorf("Speed = %v", got)
+	}
+}
+
+func TestSpeedPaperHeadline(t *testing.T) {
+	// Section 5: "the speed achieved with GRAPE-6 is around 3.3e5 particle
+	// steps per second" with ~1.8-2M particles gives ~33-35 Tflops.
+	s := Speed(1800000, 3.3e5/1.0) // steps/s already includes all particles
+	// The paper's accounting: total steps × N × 57 / time. 3.3e5 steps/s
+	// of individual particle steps, each costing N interactions:
+	flops := 57.0 * 1.8e6 * 3.3e5
+	if Tflops(flops) < 30 || Tflops(flops) > 40 {
+		t.Errorf("headline Tflops = %v, want within [30,40]", Tflops(flops))
+	}
+	_ = s
+}
+
+func TestRelaxationTimeGrowsLinearly(t *testing.T) {
+	// t_rh ∝ N/log N: doubling N must grow t_rh by less than 2x but more
+	// than 1.5x for large N.
+	a := RelaxationTime(100000)
+	b := RelaxationTime(200000)
+	ratio := b / a
+	if ratio <= 1.5 || ratio >= 2.0 {
+		t.Errorf("relaxation time ratio = %v, want in (1.5, 2)", ratio)
+	}
+}
+
+func TestRelaxationTimeSmallN(t *testing.T) {
+	if RelaxationTime(1) != 0 {
+		t.Error("relaxation time for N=1 should be 0")
+	}
+	if RelaxationTime(2) <= 0 {
+		t.Error("relaxation time for N=2 should be positive")
+	}
+}
+
+func TestConversions(t *testing.T) {
+	if Gflops(2.5e9) != 2.5 {
+		t.Error("Gflops conversion")
+	}
+	if Tflops(63.04e12) != 63.04 {
+		t.Error("Tflops conversion")
+	}
+}
+
+func TestSofteningKindString(t *testing.T) {
+	if SoftConstant.String() != "eps=1/64" {
+		t.Errorf("String = %q", SoftConstant.String())
+	}
+	if SofteningKind(99).String() != "eps=?" {
+		t.Errorf("unknown kind String = %q", SofteningKind(99).String())
+	}
+	if SoftNDependent.String() == SoftOverN.String() {
+		t.Error("distinct kinds share a string")
+	}
+}
+
+func TestCrossingTime(t *testing.T) {
+	if math.Abs(CrossingTime-2.8284271247461903) > 1e-15 {
+		t.Errorf("crossing time = %v", CrossingTime)
+	}
+}

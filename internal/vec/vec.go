@@ -1,0 +1,114 @@
+// Package vec provides the small fixed-size vector algebra used throughout
+// the GRAPE-6 reproduction: 3-component float64 vectors with value
+// semantics. All operations return new values; nothing in this package
+// allocates on the heap.
+package vec
+
+import (
+	"fmt"
+	"math"
+)
+
+// V3 is a 3-component vector in Cartesian coordinates.
+type V3 struct {
+	X, Y, Z float64
+}
+
+// Zero is the zero vector.
+var Zero = V3{}
+
+// New returns the vector (x, y, z).
+func New(x, y, z float64) V3 { return V3{x, y, z} }
+
+// Add returns a + b.
+func (a V3) Add(b V3) V3 { return V3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a V3) Sub(b V3) V3 { return V3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Neg returns -a.
+func (a V3) Neg() V3 { return V3{-a.X, -a.Y, -a.Z} }
+
+// Scale returns s*a.
+func (a V3) Scale(s float64) V3 { return V3{s * a.X, s * a.Y, s * a.Z} }
+
+// AddScaled returns a + s*b. This is the fused form used by predictor and
+// corrector polynomial evaluation.
+func (a V3) AddScaled(s float64, b V3) V3 {
+	return V3{a.X + s*b.X, a.Y + s*b.Y, a.Z + s*b.Z}
+}
+
+// Dot returns the scalar product a·b.
+func (a V3) Dot(b V3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a×b.
+func (a V3) Cross(b V3) V3 {
+	return V3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm2 returns |a|².
+func (a V3) Norm2() float64 { return a.Dot(a) }
+
+// Norm returns |a|.
+func (a V3) Norm() float64 { return math.Sqrt(a.Norm2()) }
+
+// Dist returns |a-b|.
+func (a V3) Dist(b V3) float64 { return a.Sub(b).Norm() }
+
+// Dist2 returns |a-b|².
+func (a V3) Dist2(b V3) float64 { return a.Sub(b).Norm2() }
+
+// Unit returns a/|a|. The zero vector is returned unchanged.
+func (a V3) Unit() V3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// MaxAbs returns the largest absolute component, the L∞ norm.
+func (a V3) MaxAbs() float64 {
+	m := math.Abs(a.X)
+	if v := math.Abs(a.Y); v > m {
+		m = v
+	}
+	if v := math.Abs(a.Z); v > m {
+		m = v
+	}
+	return m
+}
+
+// IsFinite reports whether all components are finite (no NaN, no Inf).
+func (a V3) IsFinite() bool {
+	return !math.IsNaN(a.X) && !math.IsInf(a.X, 0) &&
+		!math.IsNaN(a.Y) && !math.IsInf(a.Y, 0) &&
+		!math.IsNaN(a.Z) && !math.IsInf(a.Z, 0)
+}
+
+// String implements fmt.Stringer.
+func (a V3) String() string {
+	return fmt.Sprintf("(%g, %g, %g)", a.X, a.Y, a.Z)
+}
+
+// Sum returns the componentwise sum of vs.
+func Sum(vs ...V3) V3 {
+	var s V3
+	for _, v := range vs {
+		s = s.Add(v)
+	}
+	return s
+}
+
+// Mean returns the componentwise arithmetic mean of vs, or the zero vector
+// if vs is empty.
+func Mean(vs []V3) V3 {
+	if len(vs) == 0 {
+		return Zero
+	}
+	return Sum(vs...).Scale(1 / float64(len(vs)))
+}

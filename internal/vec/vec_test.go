@@ -1,0 +1,203 @@
+package vec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestAddSub(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, -5, 6)
+	if got := a.Add(b); got != New(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != New(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+}
+
+func TestNegScale(t *testing.T) {
+	a := New(1, -2, 3)
+	if got := a.Neg(); got != New(-1, 2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := a.Scale(2); got != New(2, -4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestAddScaled(t *testing.T) {
+	a := New(1, 1, 1)
+	b := New(2, 3, 4)
+	if got, want := a.AddScaled(0.5, b), New(2, 2.5, 3); got != want {
+		t.Errorf("AddScaled = %v, want %v", got, want)
+	}
+}
+
+func TestDotCross(t *testing.T) {
+	ex := New(1, 0, 0)
+	ey := New(0, 1, 0)
+	ez := New(0, 0, 1)
+	if got := ex.Cross(ey); got != ez {
+		t.Errorf("ex×ey = %v, want ez", got)
+	}
+	if got := ey.Cross(ez); got != ex {
+		t.Errorf("ey×ez = %v, want ex", got)
+	}
+	if got := ex.Dot(ey); got != 0 {
+		t.Errorf("ex·ey = %v", got)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	a := New(3, 4, 0)
+	if got := a.Norm(); got != 5 {
+		t.Errorf("Norm = %v", got)
+	}
+	if got := a.Norm2(); got != 25 {
+		t.Errorf("Norm2 = %v", got)
+	}
+}
+
+func TestDist(t *testing.T) {
+	a := New(1, 2, 3)
+	b := New(4, 6, 3)
+	if got := a.Dist(b); got != 5 {
+		t.Errorf("Dist = %v", got)
+	}
+	if got := a.Dist2(b); got != 25 {
+		t.Errorf("Dist2 = %v", got)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	a := New(0, 0, 7)
+	if got := a.Unit(); got != New(0, 0, 1) {
+		t.Errorf("Unit = %v", got)
+	}
+	if got := Zero.Unit(); got != Zero {
+		t.Errorf("Unit(0) = %v", got)
+	}
+}
+
+func TestMaxAbs(t *testing.T) {
+	if got := New(-5, 2, 3).MaxAbs(); got != 5 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := New(1, -9, 3).MaxAbs(); got != 9 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+	if got := New(1, 2, -10).MaxAbs(); got != 10 {
+		t.Errorf("MaxAbs = %v", got)
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !New(1, 2, 3).IsFinite() {
+		t.Error("finite vector reported non-finite")
+	}
+	if New(math.NaN(), 0, 0).IsFinite() {
+		t.Error("NaN vector reported finite")
+	}
+	if New(0, math.Inf(1), 0).IsFinite() {
+		t.Error("Inf vector reported finite")
+	}
+}
+
+func TestSumMean(t *testing.T) {
+	vs := []V3{New(1, 0, 0), New(0, 2, 0), New(0, 0, 3)}
+	if got := Sum(vs...); got != New(1, 2, 3) {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Mean(vs); got != New(1.0/3, 2.0/3, 1) {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := Mean(nil); got != Zero {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := New(1, 2.5, -3).String(); got != "(1, 2.5, -3)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: addition commutes and Sub is its inverse.
+func TestPropAddCommutes(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		return a.Add(b) == b.Add(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropSubInverse(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		got := a.Add(b).Sub(b)
+		// Exact for representable values without rounding interplay is not
+		// guaranteed; allow relative tolerance.
+		tol := 1e-9 * (1 + a.MaxAbs() + b.MaxAbs())
+		return approx(got.X, a.X, tol) && approx(got.Y, a.Y, tol) && approx(got.Z, a.Z, tol)
+	}
+	cfg := &quick.Config{MaxCount: 200}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: cross product is antisymmetric and orthogonal to its operands.
+func TestPropCross(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz float64) bool {
+		a, b := New(ax, ay, az), New(bx, by, bz)
+		if !a.IsFinite() || !b.IsFinite() {
+			return true
+		}
+		c := a.Cross(b)
+		anti := c.Add(b.Cross(a))
+		scale := a.MaxAbs() * b.MaxAbs()
+		if scale == 0 || math.IsInf(scale, 0) {
+			return true
+		}
+		tol := 1e-9 * scale
+		return anti.MaxAbs() <= tol &&
+			math.Abs(c.Dot(a)) <= tol*(1+a.MaxAbs()) &&
+			math.Abs(c.Dot(b)) <= tol*(1+b.MaxAbs())
+	}
+	cfg := &quick.Config{MaxCount: 300}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: |a| is invariant under component permutation.
+func TestPropNormPermutation(t *testing.T) {
+	f := func(x, y, z float64) bool {
+		if math.IsInf(x, 0) || math.IsInf(y, 0) || math.IsNaN(x) || math.IsNaN(y) || math.IsNaN(z) || math.IsInf(z, 0) {
+			return true
+		}
+		a := New(x, y, z).Norm2()
+		b := New(z, x, y).Norm2()
+		return a == b || approx(a, b, 1e-9*math.Max(a, b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkAddScaled(b *testing.B) {
+	v, w := New(1, 2, 3), New(4, 5, 6)
+	var s V3
+	for i := 0; i < b.N; i++ {
+		s = s.AddScaled(1e-9, v).AddScaled(-1e-9, w)
+	}
+	if !s.IsFinite() {
+		b.Fatal("non-finite")
+	}
+}

@@ -1,0 +1,159 @@
+// Package xrand provides a small, deterministic, splittable pseudo-random
+// number generator used by every stochastic component of the reproduction
+// (initial-condition sampling, synthetic traces, property tests).
+//
+// Reproducibility across runs and across machine partitionings is a design
+// requirement inherited from the paper: GRAPE-6's block-floating-point
+// summation makes results independent of machine size, and our experiment
+// harness needs the same property for its random inputs. The generator is
+// SplitMix64 feeding xoshiro256**, with an explicit Split operation that
+// derives statistically independent child streams, so that parallel workers
+// draw from disjoint streams regardless of scheduling order.
+package xrand
+
+import "math"
+
+// Source is a deterministic random stream. It is NOT safe for concurrent
+// use; use Split to give each goroutine its own stream.
+type Source struct {
+	s [4]uint64
+}
+
+// splitmix64 advances the seed state and returns the next output. It is
+// used for seeding xoshiro and for deriving split streams.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from the given 64-bit seed.
+func New(seed uint64) *Source {
+	var s Source
+	x := seed
+	for i := range s.s {
+		s.s[i] = splitmix64(&x)
+	}
+	// xoshiro must not be seeded with all zeros; splitmix64 outputs make
+	// this astronomically unlikely but guard anyway.
+	if s.s[0]|s.s[1]|s.s[2]|s.s[3] == 0 {
+		s.s[0] = 1
+	}
+	return &s
+}
+
+func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split returns a new Source whose stream is statistically independent of
+// the receiver's subsequent output. The receiver advances by one draw.
+func (r *Source) Split() *Source {
+	seed := r.Uint64()
+	return New(seed ^ 0xa3ec647659359acd)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	// 53 high bits → [0,1) with full double precision.
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method: unbiased and fast.
+	un := uint64(n)
+	threshold := (-un) % un
+	for {
+		hi, lo := mul64(r.Uint64(), un)
+		if lo >= threshold {
+			return int(hi)
+		}
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Norm returns a standard normal deviate via the Marsaglia polar method.
+func (r *Source) Norm() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Perm returns a uniformly random permutation of [0, n).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle randomizes the order of n elements using the given swap function.
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// OnSphere returns a uniformly distributed unit vector direction as
+// (x, y, z) components.
+func (r *Source) OnSphere() (x, y, z float64) {
+	z = r.Uniform(-1, 1)
+	phi := r.Uniform(0, 2*math.Pi)
+	s := math.Sqrt(1 - z*z)
+	return s * math.Cos(phi), s * math.Sin(phi), z
+}
+
+// Exp returns an exponentially distributed deviate with mean 1.
+func (r *Source) Exp() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	// Child stream must differ from parent's continued stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 identical draws from split streams", same)
+	}
+}
+
+func TestSplitDeterminism(t *testing.T) {
+	a := New(7).Split()
+	b := New(7).Split()
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("split is not deterministic")
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(9)
+	counts := make([]int, 7)
+	const n = 70000
+	for i := 0; i < n; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if math.Abs(float64(c)-n/7.0) > 5*math.Sqrt(n/7.0) {
+			t.Errorf("bucket %d count %d deviates too far from %v", i, c, n/7.0)
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(11)
+	const n = 200000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Norm()
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	variance := sum2/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("normal mean = %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("normal variance = %v", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	p := r.Perm(100)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || v >= 100 || seen[v] {
+			t.Fatalf("not a permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestOnSphereUnit(t *testing.T) {
+	r := New(17)
+	for i := 0; i < 1000; i++ {
+		x, y, z := r.OnSphere()
+		n := x*x + y*y + z*z
+		if math.Abs(n-1) > 1e-12 {
+			t.Fatalf("|v|² = %v", n)
+		}
+	}
+}
+
+func TestOnSphereIsotropy(t *testing.T) {
+	r := New(19)
+	const n = 50000
+	var sx, sy, sz float64
+	for i := 0; i < n; i++ {
+		x, y, z := r.OnSphere()
+		sx += x
+		sy += y
+		sz += z
+	}
+	for _, s := range []float64{sx, sy, sz} {
+		if math.Abs(s)/n > 0.01 {
+			t.Errorf("mean component %v too far from 0", s/n)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := New(23)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Exp()
+		if x < 0 {
+			t.Fatalf("negative exponential deviate %v", x)
+		}
+		sum += x
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Errorf("exponential mean = %v", mean)
+	}
+}
+
+func TestMul64(t *testing.T) {
+	cases := []struct {
+		a, b, hi, lo uint64
+	}{
+		{0, 0, 0, 0},
+		{1, 1, 0, 1},
+		{math.MaxUint64, 2, 1, math.MaxUint64 - 1},
+		{1 << 32, 1 << 32, 1, 0},
+		{math.MaxUint64, math.MaxUint64, math.MaxUint64 - 1, 1},
+	}
+	for _, c := range cases {
+		hi, lo := mul64(c.a, c.b)
+		if hi != c.hi || lo != c.lo {
+			t.Errorf("mul64(%d,%d) = (%d,%d), want (%d,%d)", c.a, c.b, hi, lo, c.hi, c.lo)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	r := New(29)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("shuffle duplicated %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("shuffle lost elements: %v", xs)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s ^= r.Uint64()
+	}
+	_ = s
+}
+
+func BenchmarkNorm(b *testing.B) {
+	r := New(1)
+	var s float64
+	for i := 0; i < b.N; i++ {
+		s += r.Norm()
+	}
+	_ = s
+}
