@@ -75,11 +75,27 @@ type jloc struct {
 }
 
 // Array is the emulated multi-board attachment of one host.
+//
+// Force evaluation above a small-workload threshold runs on a persistent
+// worker pool: the goroutines are spawned once (lazily, on first use),
+// each owns a static share of the chips plus reusable partial slabs, and
+// they stay parked on a job channel between calls — the emulation
+// counterpart of the real chips running continuously. Close releases the
+// pool; a closed Array may keep being used (the pool respawns lazily).
+//
+// An Array serves one host: like the real hardware's memory bus, force
+// evaluations on the same Array must not run concurrently with each other
+// or with loads/updates (the worker slabs and scratch are reused between
+// calls). Distinct Arrays are fully independent.
 type Array struct {
 	cfg   Config
 	chips []*chip.Chip
 	loc   map[int]jloc // particle id → memory location
 	nj    int
+
+	mu      sync.Mutex // guards pool creation and Close
+	workers []*forceWorker
+	scratch []chip.Partial // serial-path per-chip scratch, reused across calls
 }
 
 // New builds the attachment. It panics on invalid configuration.
@@ -136,64 +152,178 @@ func (a *Array) UpdateJ(p chip.JParticle) error {
 	return a.chips[l.chip].WriteJ(l.slot, p)
 }
 
+// forceJob is one force evaluation broadcast to every pool worker.
+type forceJob struct {
+	t   float64
+	is  []chip.IParticle
+	eps float64
+	wg  *sync.WaitGroup
+}
+
+// forceWorker owns a static share of the chips and reusable result slabs.
+// Between calls it is parked on the jobs channel; within a call it
+// pre-merges its chips' partials locally (exact integer adds, so the
+// pre-merge is bit-identical to any other merge order — the Section 3.4
+// property) and leaves the merged slab plus its worst chip cycle count for
+// the caller to collect after wg.Wait.
+type forceWorker struct {
+	chips   []*chip.Chip
+	jobs    chan forceJob
+	merged  []chip.Partial // this worker's pre-merged partials, one per i
+	scratch []chip.Partial // per-chip result buffer
+	cycles  int64          // max chip cycles of the last job
+}
+
+func (w *forceWorker) run() {
+	for job := range w.jobs {
+		w.do(job)
+		job.wg.Done()
+	}
+}
+
+func (w *forceWorker) do(job forceJob) {
+	n := len(job.is)
+	w.merged = growPartials(w.merged, n)
+	w.scratch = growPartials(w.scratch, n)
+	w.cycles = 0
+	for ci, ch := range w.chips {
+		dst := w.merged[:n]
+		if ci > 0 {
+			dst = w.scratch[:n]
+		}
+		cy := ch.ForceBatchInto(dst, job.t, job.is, job.eps)
+		if cy > w.cycles {
+			w.cycles = cy
+		}
+		if ci > 0 {
+			for i := 0; i < n; i++ {
+				w.merged[i].Merge(&w.scratch[i])
+			}
+		}
+	}
+}
+
+// growPartials returns s with length ≥ n, reallocating only on growth.
+func growPartials(s []chip.Partial, n int) []chip.Partial {
+	if cap(s) < n {
+		return make([]chip.Partial, n)
+	}
+	return s[:n]
+}
+
+// pool returns the persistent workers, spawning them on first use. The
+// chips are split into contiguous shares, one per worker, up to
+// GOMAXPROCS workers.
+func (a *Array) pool() []*forceWorker {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.workers == nil {
+		nc := len(a.chips)
+		nw := runtime.GOMAXPROCS(0)
+		if nw > nc {
+			nw = nc
+		}
+		a.workers = make([]*forceWorker, nw)
+		for wi := range a.workers {
+			lo, hi := wi*nc/nw, (wi+1)*nc/nw
+			w := &forceWorker{chips: a.chips[lo:hi], jobs: make(chan forceJob)}
+			a.workers[wi] = w
+			go w.run()
+		}
+	}
+	return a.workers
+}
+
+// Close shuts down the worker pool. It is safe to call multiple times and
+// on an Array whose pool never started; the Array remains usable (a later
+// Forces call lazily respawns the pool).
+func (a *Array) Close() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, w := range a.workers {
+		close(w.jobs)
+	}
+	a.workers = nil
+}
+
 // Forces evaluates forces on the i-particles from all loaded j-particles
 // predicted to time t. It returns the merged partial results (one per
 // i-particle, bit-identical to a single-chip evaluation) and the number of
 // hardware clock cycles the attachment is busy.
+//
+// This is the allocating convenience wrapper over ForcesInto: it builds
+// one flat slab of partials and returns pointers into it.
+func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
+	slab := make([]chip.Partial, len(is))
+	cycles := a.ForcesInto(slab, t, is, eps)
+	out := make([]*chip.Partial, len(is))
+	for i := range slab {
+		out[i] = &slab[i]
+	}
+	return out, cycles
+}
+
+// ForcesInto is the allocation-free force path: the merged results are
+// written into the caller-owned slab dst (len(dst) must be ≥ len(is)).
+// Steady-state callers reuse the slab, so a force evaluation allocates
+// nothing on either the caller's or the workers' side.
 //
 // Cycle model: all chips run in lockstep on the same i-set, so the force
 // time is the maximum chip time (the chips' memory loads differ by at most
 // one particle); the reduction trees add one pipeline stage per level:
 // ceil(log2 chips/module) within the module, ceil(log2 modules) on the
 // board, and ceil(log2 boards) on the network board.
-func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
+func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
+	if len(dst) < len(is) {
+		panic(fmt.Sprintf("board: partial slab of %d for %d i-particles", len(dst), len(is)))
+	}
 	nc := len(a.chips)
-	partials := make([][]*chip.Partial, nc)
-	cycles := make([]int64, nc)
+	n := len(is)
+	var maxCycles int64
 
-	workers := runtime.GOMAXPROCS(0)
-	if workers > nc {
-		workers = nc
-	}
-	if workers <= 1 || len(is)*a.nj < 4096 {
+	if runtime.GOMAXPROCS(0) <= 1 || n*a.nj < 4096 {
+		// Small workload: the goroutine handoff costs more than the work.
+		a.scratch = growPartials(a.scratch, n)
 		for c := 0; c < nc; c++ {
-			partials[c], cycles[c] = a.chips[c].ForceBatch(t, is, eps)
-		}
-	} else {
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for c := range next {
-					partials[c], cycles[c] = a.chips[c].ForceBatch(t, is, eps)
+			d := dst[:n]
+			if c > 0 {
+				d = a.scratch[:n]
+			}
+			cy := a.chips[c].ForceBatchInto(d, t, is, eps)
+			if cy > maxCycles {
+				maxCycles = cy
+			}
+			if c > 0 {
+				for i := 0; i < n; i++ {
+					dst[i].Merge(&a.scratch[i])
 				}
-			}()
+			}
 		}
-		for c := 0; c < nc; c++ {
-			next <- c
-		}
-		close(next)
-		wg.Wait()
+		return maxCycles + a.reductionCycles()
 	}
+
+	workers := a.pool()
+	var wg sync.WaitGroup
+	wg.Add(len(workers))
+	job := forceJob{t: t, is: is, eps: eps, wg: &wg}
+	for _, w := range workers {
+		w.jobs <- job
+	}
+	wg.Wait()
 
 	// Reduction: exact merges, tree order irrelevant by construction.
-	out := partials[0]
-	for c := 1; c < nc; c++ {
-		for i := range out {
-			out[i].Merge(partials[c][i])
+	copy(dst[:n], workers[0].merged[:n])
+	for _, w := range workers {
+		if w.cycles > maxCycles {
+			maxCycles = w.cycles
 		}
 	}
-
-	var maxCycles int64
-	for _, cy := range cycles {
-		if cy > maxCycles {
-			maxCycles = cy
+	for _, w := range workers[1:] {
+		for i := 0; i < n; i++ {
+			dst[i].Merge(&w.merged[i])
 		}
 	}
-	maxCycles += a.reductionCycles()
-	return out, maxCycles
+	return maxCycles + a.reductionCycles()
 }
 
 // reductionCycles returns the pipeline latency of the three-level

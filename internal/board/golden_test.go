@@ -1,0 +1,92 @@
+package board
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"testing"
+
+	"grape6/internal/chip"
+)
+
+// seedKernelHash is the FNV-1a hash of the merged partials of the fixed
+// workload below, captured from the pre-optimization (seed) force kernel.
+// It pins the bit-exact output of the whole pipeline — fixed-point
+// differences, mantissa rounding, block-floating-point accumulation and
+// the reduction tree — so any "optimization" that changes a single result
+// bit fails here.
+const seedKernelHash = 0x0f9ec51439e83dd1
+
+// goldenWorkloadHash evaluates the fixed seeded workload and hashes every
+// merged partial: all seven accumulator sums plus the nearest-neighbour id
+// per i-particle.
+func goldenWorkloadHash(t *testing.T, forces func(a *Array, is []chip.IParticle) []*chip.Partial) uint64 {
+	t.Helper()
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(t, a, 512, 42)
+	out := forces(a, is[:96])
+
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+	for _, p := range out {
+		for c := 0; c < 3; c++ {
+			w(p.Acc[c].Sum)
+			w(p.Jerk[c].Sum)
+		}
+		w(p.Pot.Sum)
+		w(int64(p.NN))
+	}
+	return h.Sum64()
+}
+
+func TestGoldenBitIdentityVsSeedKernel(t *testing.T) {
+	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+		out, _ := a.Forces(0.015625, is, 1.0/64)
+		return out
+	})
+	if got != seedKernelHash {
+		t.Errorf("merged partials hash %#016x differs from seed kernel %#016x:"+
+			" the optimized force path changed result bits", got, seedKernelHash)
+	}
+}
+
+func TestGoldenBitIdentityWorkerPool(t *testing.T) {
+	// The parallel path — workers pre-merging their chips' partials locally
+	// before the cross-worker merge — must also match the seed kernel bit
+	// for bit (Section 3.4: integer accumulator adds are exact, so merge
+	// order is irrelevant). Force GOMAXPROCS > 1 so the pool actually runs
+	// even on single-CPU hosts.
+	forceParallel(t)
+	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+		out, _ := a.Forces(0.015625, is, 1.0/64)
+		if len(a.workers) == 0 {
+			t.Fatal("worker pool did not engage for the golden workload")
+		}
+		return out
+	})
+	if got != seedKernelHash {
+		t.Errorf("worker-pool hash %#016x differs from seed kernel %#016x", got, seedKernelHash)
+	}
+}
+
+func TestGoldenBitIdentityForcesInto(t *testing.T) {
+	// The reuse path through a dirty, caller-owned slab must produce the
+	// same bits as the seed kernel too.
+	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+		slab := make([]chip.Partial, len(is))
+		a.ForcesInto(slab, 0.25, is, 0.5) // dirty the slab with another workload
+		a.ForcesInto(slab, 0.015625, is, 1.0/64)
+		out := make([]*chip.Partial, len(is))
+		for i := range slab {
+			out[i] = &slab[i]
+		}
+		return out
+	})
+	if got != seedKernelHash {
+		t.Errorf("ForcesInto hash %#016x differs from seed kernel %#016x", got, seedKernelHash)
+	}
+}

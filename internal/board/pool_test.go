@@ -1,0 +1,100 @@
+package board
+
+import (
+	"runtime"
+	"testing"
+
+	"grape6/internal/chip"
+)
+
+// forceParallel raises GOMAXPROCS so ForcesInto takes the worker-pool path
+// even on single-CPU hosts (where it would otherwise stay serial).
+func forceParallel(t *testing.T) {
+	old := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+func TestWorkerPoolPersistsAcrossCalls(t *testing.T) {
+	forceParallel(t)
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(t, a, 512, 7)
+
+	// First large call spawns the pool.
+	r1, _ := a.Forces(0, is[:64], 1.0/64)
+	workers := a.workers
+	if len(workers) == 0 {
+		t.Fatal("no worker pool after a large Forces call")
+	}
+
+	// Further calls — larger, smaller, and tiny (serial path) — reuse it.
+	a.Forces(0, is[:128], 1.0/64)
+	a.Forces(0, is[:16], 1.0/64)
+	r2, _ := a.Forces(0, is[:64], 1.0/64)
+	if len(a.workers) != len(workers) {
+		t.Errorf("pool respawned: %d workers, then %d", len(workers), len(a.workers))
+	}
+	for w := range workers {
+		if a.workers[w] != workers[w] {
+			t.Errorf("worker %d replaced between calls", w)
+		}
+	}
+	for i := range r1 {
+		if r1[i].Acc[0].Sum != r2[i].Acc[0].Sum || r1[i].Pot.Sum != r2[i].Pot.Sum {
+			t.Fatalf("i=%d: repeated evaluation changed bits", i)
+		}
+	}
+}
+
+func TestCloseIsIdempotentAndRespawns(t *testing.T) {
+	forceParallel(t)
+	a := New(smallConfig())
+	_, is := loadPlummer(t, a, 512, 9)
+
+	before, _ := a.Forces(0, is[:64], 1.0/64)
+	a.Close()
+	a.Close() // double close must not panic
+	if a.workers != nil {
+		t.Fatal("workers not cleared by Close")
+	}
+
+	// A closed Array keeps working: the pool respawns lazily.
+	after, _ := a.Forces(0, is[:64], 1.0/64)
+	for i := range before {
+		if before[i].Acc[0].Sum != after[i].Acc[0].Sum {
+			t.Fatalf("i=%d: results differ after Close/respawn", i)
+		}
+	}
+	a.Close()
+
+	// Close on an Array whose pool never started is a no-op.
+	New(smallConfig()).Close()
+}
+
+func TestForcesIntoShortSlabPanics(t *testing.T) {
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(t, a, 16, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("ForcesInto accepted a too-short slab")
+		}
+	}()
+	a.ForcesInto(make([]chip.Partial, 1), 0, is[:2], 0.1)
+}
+
+// BenchmarkArrayForces measures a 48-particle evaluation on an 8-chip
+// attachment through the persistent pool and reusable slab. Steady state
+// must be allocation-free.
+func BenchmarkArrayForces(b *testing.B) {
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(b, a, 1024, 1)
+	dst := make([]chip.Partial, 48)
+	a.ForcesInto(dst, 0, is[:48], 1.0/64) // warm up pool and worker slabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ForcesInto(dst, 0, is[:48], 1.0/64)
+	}
+}

@@ -97,22 +97,34 @@ type IParticle struct {
 
 // Partial is the block-floating-point partial result for one i-particle,
 // as produced by one chip and merged exactly by the FPGA reduction trees.
+// The accumulators are embedded by value — like the hardware's registers —
+// so a []Partial slab is a single flat allocation that callers can reuse
+// across force evaluations (see ForceBatchInto).
 type Partial struct {
-	Acc  [3]*gfixed.Accum
-	Jerk [3]*gfixed.Accum
-	Pot  *gfixed.Accum
+	Acc  [3]gfixed.Accum
+	Jerk [3]gfixed.Accum
+	Pot  gfixed.Accum
 	NN   int     // global id of nearest neighbour seen so far (-1 if none)
 	NND2 float64 // softened squared distance to it
 }
 
+// Init resets a partial result in place: zeroed accumulators with the
+// given block exponents, no nearest neighbour. Reusing a slab of partials
+// via Init is the allocation-free path.
+func (p *Partial) Init(f gfixed.Format, expAcc, expJerk, expPot int) {
+	for c := 0; c < 3; c++ {
+		p.Acc[c].Init(f, expAcc)
+		p.Jerk[c].Init(f, expJerk)
+	}
+	p.Pot.Init(f, expPot)
+	p.NN = -1
+	p.NND2 = math.Inf(1)
+}
+
 // NewPartial allocates a zeroed partial result with the given exponents.
 func NewPartial(f gfixed.Format, expAcc, expJerk, expPot int) *Partial {
-	p := &Partial{NN: -1, NND2: math.Inf(1)}
-	for c := 0; c < 3; c++ {
-		p.Acc[c] = f.NewAccum(expAcc)
-		p.Jerk[c] = f.NewAccum(expJerk)
-	}
-	p.Pot = f.NewAccum(expPot)
+	p := new(Partial)
+	p.Init(f, expAcc, expJerk, expPot)
 	return p
 }
 
@@ -122,10 +134,10 @@ func NewPartial(f gfixed.Format, expAcc, expJerk, expPot int) *Partial {
 // the merge deterministic regardless of tree shape.
 func (p *Partial) Merge(q *Partial) {
 	for c := 0; c < 3; c++ {
-		p.Acc[c].Merge(q.Acc[c])
-		p.Jerk[c].Merge(q.Jerk[c])
+		p.Acc[c].Merge(&q.Acc[c])
+		p.Jerk[c].Merge(&q.Jerk[c])
 	}
-	p.Pot.Merge(q.Pot)
+	p.Pot.Merge(&q.Pot)
 	if q.NND2 < p.NND2 || (q.NND2 == p.NND2 && q.NN >= 0 && (p.NN < 0 || q.NN < p.NN)) {
 		p.NND2 = q.NND2
 		p.NN = q.NN
@@ -193,12 +205,17 @@ func (ch *Chip) WriteJ(slot int, p JParticle) error {
 }
 
 func (ch *Chip) growPred() {
-	if cap(ch.px) < len(ch.mem) {
-		ch.px = make([][3]gfixed.Fixed64, len(ch.mem))
-		ch.pv = make([][3]float64, len(ch.mem))
+	n := len(ch.mem)
+	// Reallocate when the buffers are too small, and also when the j-set
+	// shrank to under a quarter of the backing arrays — otherwise one
+	// large load would pin the largest-ever allocation for the chip's
+	// lifetime. The >64 floor keeps tiny test loads from thrashing.
+	if cap(ch.px) < n || (cap(ch.px) > 4*n && cap(ch.px) > 64) {
+		ch.px = make([][3]gfixed.Fixed64, n)
+		ch.pv = make([][3]float64, n)
 	}
-	ch.px = ch.px[:len(ch.mem)]
-	ch.pv = ch.pv[:len(ch.mem)]
+	ch.px = ch.px[:n]
+	ch.pv = ch.pv[:n]
 }
 
 // PredictParticle evaluates the predictor polynomials, eqs. (6)-(7), for a
@@ -260,65 +277,96 @@ const Fixed64Max = gfixed.Fixed64(math.MaxInt64)
 // one Partial per i-particle and the number of clock cycles the batch
 // occupies the chip.
 //
+// This is the allocating convenience wrapper over ForceBatchInto: it
+// builds one flat slab of partials and returns pointers into it.
+func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, int64) {
+	slab := make([]Partial, len(is))
+	cycles := ch.ForceBatchInto(slab, t, is, eps)
+	out := make([]*Partial, len(is))
+	for i := range slab {
+		out[i] = &slab[i]
+	}
+	return out, cycles
+}
+
+// ForceBatchInto is the allocation-free force path: it evaluates the batch
+// into the caller-owned slab dst (len(dst) must be ≥ len(is); dst[i] is
+// re-initialised with the i-particle's exponents) and returns the number
+// of clock cycles the batch occupies the chip. Steady-state callers reuse
+// the same slab across evaluations, so the hot path performs no heap
+// allocation at all — as on the real chip, whose accumulators are
+// registers.
+//
 // Cycle model: the i-particles are served in passes of Pipelines×VMP; each
 // pass streams the whole j-memory at VMP cycles per j-particle (each
 // j-particle is applied to the VMP virtual pipelines in turn) plus the
 // pipeline drain latency.
-func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, int64) {
+func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps float64) int64 {
+	if len(dst) < len(is) {
+		panic(fmt.Sprintf("chip: partial slab of %d for %d i-particles", len(dst), len(is)))
+	}
 	ch.Predict(t)
 	f := ch.cfg.Format
 	e2 := f.Round(eps * eps)
+	// Format constants hoisted out of the pairwise loop: the mantissa
+	// rounder's masks and the fixed-point scale factor.
+	r := f.Rounder()
+	invPos := 1 / float64(uint64(1)<<f.PosFrac)
 
-	out := make([]*Partial, len(is))
 	for i := range is {
-		out[i] = NewPartial(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
-		ch.forceOne(&is[i], out[i], e2)
+		p := &dst[i]
+		p.Init(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
+		ch.forceOne(&is[i], p, e2, r, invPos)
 	}
 
 	passes := (len(is) + ch.cfg.IBatch() - 1) / ch.cfg.IBatch()
-	cycles := int64(passes) * (int64(ch.cfg.VMP)*int64(len(ch.mem)) + int64(ch.cfg.PipelineDepth))
-	return out, cycles
+	return int64(passes) * (int64(ch.cfg.VMP)*int64(len(ch.mem)) + int64(ch.cfg.PipelineDepth))
 }
 
-// forceOne streams the j-memory against one i-particle.
-func (ch *Chip) forceOne(ip *IParticle, p *Partial, e2 float64) {
-	f := ch.cfg.Format
-	for k := range ch.mem {
-		j := &ch.mem[k]
+// forceOne streams the j-memory against one i-particle. r and invPos are
+// the caller-hoisted mantissa rounder and fixed-point scale (invariant
+// across the whole batch; recomputing them per pair would dominate the
+// pipeline arithmetic).
+func (ch *Chip) forceOne(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64) {
+	mem, px, pv := ch.mem, ch.px, ch.pv
+	ix, iy, iz := ip.X[0], ip.X[1], ip.X[2]
+	ivx, ivy, ivz := ip.V[0], ip.V[1], ip.V[2]
+	for k := range mem {
+		j := &mem[k]
 
 		// Stage 1: coordinate difference, exact in fixed point, then
 		// converted to the pipeline float format.
-		dx := f.DiffToFloat(ip.X[0], ch.px[k][0])
-		dy := f.DiffToFloat(ip.X[1], ch.px[k][1])
-		dz := f.DiffToFloat(ip.X[2], ch.px[k][2])
-		dvx := f.Round(ch.pv[k][0] - ip.V[0])
-		dvy := f.Round(ch.pv[k][1] - ip.V[1])
-		dvz := f.Round(ch.pv[k][2] - ip.V[2])
+		dx := r.Round(float64(px[k][0]-ix) * invPos)
+		dy := r.Round(float64(px[k][1]-iy) * invPos)
+		dz := r.Round(float64(px[k][2]-iz) * invPos)
+		dvx := r.Round(pv[k][0] - ivx)
+		dvy := r.Round(pv[k][1] - ivy)
+		dvz := r.Round(pv[k][2] - ivz)
 
 		// Stage 2: squared distance with softening.
-		r2 := f.Round(dx*dx + dy*dy + dz*dz + e2)
+		r2 := r.Round(dx*dx + dy*dy + dz*dz + e2)
 		if r2 <= 0 {
 			// Self-pair with zero softening: masked, contributes nothing.
 			continue
 		}
 
 		// Stage 3: inverse square root and force factor.
-		rinv := f.Round(1 / math.Sqrt(r2))
-		rinv2 := f.Round(rinv * rinv)
-		mrinv := f.Round(j.Mass * rinv)
-		mrinv3 := f.Round(mrinv * rinv2)
+		rinv := r.Round(1 / math.Sqrt(r2))
+		rinv2 := r.Round(rinv * rinv)
+		mrinv := r.Round(j.Mass * rinv)
+		mrinv3 := r.Round(mrinv * rinv2)
 
 		// Stage 4: (v·r)/(r²+ε²).
-		rv := f.Round((dx*dvx + dy*dvy + dz*dvz) * rinv2)
-		rv3 := f.Round(3 * rv)
+		rv := r.Round((dx*dvx + dy*dvy + dz*dvz) * rinv2)
+		rv3 := r.Round(3 * rv)
 
 		// Stage 5: accumulate in block floating point.
-		p.Acc[0].Add(f.Round(mrinv3 * dx))
-		p.Acc[1].Add(f.Round(mrinv3 * dy))
-		p.Acc[2].Add(f.Round(mrinv3 * dz))
-		p.Jerk[0].Add(f.Round(mrinv3 * f.Round(dvx-rv3*dx)))
-		p.Jerk[1].Add(f.Round(mrinv3 * f.Round(dvy-rv3*dy)))
-		p.Jerk[2].Add(f.Round(mrinv3 * f.Round(dvz-rv3*dz)))
+		p.Acc[0].Add(r.Round(mrinv3 * dx))
+		p.Acc[1].Add(r.Round(mrinv3 * dy))
+		p.Acc[2].Add(r.Round(mrinv3 * dz))
+		p.Jerk[0].Add(r.Round(mrinv3 * r.Round(dvx-rv3*dx)))
+		p.Jerk[1].Add(r.Round(mrinv3 * r.Round(dvy-rv3*dy)))
+		p.Jerk[2].Add(r.Round(mrinv3 * r.Round(dvz-rv3*dz)))
 		p.Pot.Add(-mrinv)
 
 		// Nearest-neighbour unit, excluding the self-pair by id.

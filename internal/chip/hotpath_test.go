@@ -1,0 +1,134 @@
+package chip
+
+import (
+	"testing"
+
+	"grape6/internal/gfixed"
+	"grape6/internal/model"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+// benchChip loads a Plummer model of n j-particles into a default chip and
+// returns it together with ni prepared i-particles.
+func benchChip(tb testing.TB, n, ni int) (*Chip, []IParticle) {
+	tb.Helper()
+	rng := xrand.New(1)
+	sys := model.Plummer(n, rng)
+	ch := New(Default)
+	f := gfixed.Grape6
+	js := make([]JParticle, sys.N)
+	for i := 0; i < sys.N; i++ {
+		p, err := MakeJParticle(f, i, 0, sys.Mass[i], sys.Pos[i], sys.Vel[i], vec.Zero, vec.Zero, vec.Zero)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		js[i] = p
+	}
+	if err := ch.LoadJ(js); err != nil {
+		tb.Fatal(err)
+	}
+	is := make([]IParticle, ni)
+	for k := range is {
+		x, v := PredictParticle(f, &js[k%n], 0)
+		is[k] = IParticle{X: x, V: v, SelfID: k % n, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
+	}
+	return ch, is
+}
+
+// BenchmarkForceOne measures one i-particle streamed against a 1024-deep
+// j-memory through the reusable-slab path: the per-pair pipeline cost.
+func BenchmarkForceOne(b *testing.B) {
+	ch, is := benchChip(b, 1024, 1)
+	dst := make([]Partial, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.ForceBatchInto(dst, 0, is, 1.0/64)
+	}
+}
+
+// BenchmarkForceBatch48 measures a full hardware pass (48 i-particles, one
+// per virtual pipeline) against a 1024-deep j-memory. Steady state must be
+// allocation-free: the partial slab is caller-owned and reused.
+func BenchmarkForceBatch48(b *testing.B) {
+	ch, is := benchChip(b, 1024, 48)
+	dst := make([]Partial, len(is))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.ForceBatchInto(dst, 0, is, 1.0/64)
+	}
+}
+
+func TestForceBatchIntoMatchesForceBatch(t *testing.T) {
+	ch, is := benchChip(t, 256, 48)
+	want, wantCycles := ch.ForceBatch(0, is, 1.0/64)
+	dst := make([]Partial, len(is))
+	gotCycles := ch.ForceBatchInto(dst, 0, is, 1.0/64)
+	if gotCycles != wantCycles {
+		t.Errorf("cycles %d != %d", gotCycles, wantCycles)
+	}
+	for i := range dst {
+		for c := 0; c < 3; c++ {
+			if dst[i].Acc[c].Sum != want[i].Acc[c].Sum || dst[i].Jerk[c].Sum != want[i].Jerk[c].Sum {
+				t.Fatalf("i=%d component %d differs between Into and allocating path", i, c)
+			}
+		}
+		if dst[i].Pot.Sum != want[i].Pot.Sum || dst[i].NN != want[i].NN || dst[i].NND2 != want[i].NND2 {
+			t.Fatalf("i=%d pot/NN differ between Into and allocating path", i)
+		}
+	}
+
+	// Slab reuse: a second evaluation into the same dirty slab must give
+	// the same bits (Init fully resets each partial).
+	ch.ForceBatchInto(dst, 0, is, 1.0/64)
+	for i := range dst {
+		if dst[i].Acc[0].Sum != want[i].Acc[0].Sum {
+			t.Fatalf("i=%d: slab reuse changed result bits", i)
+		}
+	}
+}
+
+func TestForceBatchIntoShortSlabPanics(t *testing.T) {
+	ch, is := benchChip(t, 16, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("ForceBatchInto accepted a too-short slab")
+		}
+	}()
+	ch.ForceBatchInto(make([]Partial, 1), 0, is, 0.1)
+}
+
+func TestGrowPredShrinks(t *testing.T) {
+	ch := New(Default)
+	if err := ch.LoadJ(make([]JParticle, 10000)); err != nil {
+		t.Fatal(err)
+	}
+	bigCap := cap(ch.px)
+	if bigCap < 10000 {
+		t.Fatalf("cap %d after loading 10000", bigCap)
+	}
+	// A drastically smaller j-set must release the large backing arrays.
+	if err := ch.LoadJ(make([]JParticle, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if cap(ch.px) > 4*100 {
+		t.Errorf("predictor buffers retained cap %d for a 100-particle j-set", cap(ch.px))
+	}
+	if len(ch.px) != 100 || len(ch.pv) != 100 {
+		t.Errorf("predictor buffer lengths %d/%d, want 100", len(ch.px), len(ch.pv))
+	}
+	// Small fluctuations must NOT thrash: 100 → 60 keeps the allocation.
+	if err := ch.LoadJ(make([]JParticle, 60)); err != nil {
+		t.Fatal(err)
+	}
+	if cap(ch.px) < 100 {
+		t.Errorf("predictor buffers reallocated on a mild shrink (cap %d)", cap(ch.px))
+	}
+	// And prediction still works on the shrunk set.
+	ch.Predict(0.5)
+	if len(ch.px) != 60 {
+		t.Errorf("predicted %d particles, want 60", len(ch.px))
+	}
+}

@@ -107,7 +107,14 @@ func EvalSkip(xi, vi vec.V3, js JSet, eps float64, skip int) Force {
 // self-pairs by identity of index only when selfSet is true and the two
 // sets are the same length (i.e. the i-set IS the j-set in the same order).
 func EvalAll(xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
-	out := make([]Force, len(xs))
+	return EvalAllInto(make([]Force, len(xs)), xs, vs, js, eps, selfSet)
+}
+
+// EvalAllInto is EvalAll writing into the caller-owned dst (len(dst) must
+// be ≥ len(xs)); it returns the filled prefix. Reusing dst across calls
+// makes the reference backend allocation-free in steady state.
+func EvalAllInto(dst []Force, xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
+	out := dst[:len(xs)]
 	for i := range xs {
 		skip := -1
 		if selfSet {
@@ -121,15 +128,20 @@ func EvalAll(xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
 // EvalAllParallel is EvalAll fanned out over GOMAXPROCS goroutines. The
 // i-loop is embarrassingly parallel; each worker owns a contiguous range.
 func EvalAllParallel(xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
+	return EvalAllParallelInto(make([]Force, len(xs)), xs, vs, js, eps, selfSet)
+}
+
+// EvalAllParallelInto is EvalAllParallel writing into the caller-owned dst
+// (len(dst) must be ≥ len(xs)); it returns the filled prefix.
+func EvalAllParallelInto(dst []Force, xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
 	n := len(xs)
-	out := make([]Force, n)
+	out := dst[:n]
 	workers := runtime.GOMAXPROCS(0)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		copy(out, EvalAll(xs, vs, js, eps, selfSet))
-		return out
+		return EvalAllInto(out, xs, vs, js, eps, selfSet)
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers

@@ -44,6 +44,16 @@ type Backend struct {
 	HWCycles    int64 // hardware busy cycles
 	Retries     int64 // overflow-retry force evaluations
 	RangeClamps int64 // coordinates clamped to the fixed-point range
+
+	// Scratch reused across Forces calls so that a steady-state block step
+	// allocates nothing: i-particle staging, retry bookkeeping, and the
+	// hardware partial-result slab.
+	isBuf    []chip.IParticle
+	ksBuf    []int
+	batch    []chip.IParticle
+	pending  []int
+	again    []int
+	partials []chip.Partial
 }
 
 // New returns a Backend over the given hardware attachment.
@@ -139,15 +149,30 @@ func (b *Backend) guessExponents(sys *nbody.System, i int) (ea, ej, ep int) {
 	return ea, ej, ep
 }
 
-// Forces implements hermite.Backend. The supplied (xi, vi) host
-// predictions are intentionally ignored: the backend predicts i-particles
-// through the chip's own datapath, which both matches the hardware
-// behaviour (the same predictor feeds both sides) and guarantees that
-// self-pairs cancel exactly.
+// Forces implements hermite.Backend. Allocating wrapper over ForcesInto.
 func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
+	return b.ForcesInto(make([]direct.Force, len(ids)), t, ids, xi, vi, eps)
+}
+
+// ForcesInto is the reuse-friendly force path: results are written into
+// the caller-owned dst (len(dst) must be ≥ len(ids)) and the filled prefix
+// is returned. All staging buffers — i-particles, retry bookkeeping and
+// the hardware partial slab — live on the Backend, so a steady-state block
+// step performs no heap allocation from the integrator down to the chips.
+//
+// The supplied (xi, vi) host predictions are intentionally ignored: the
+// backend predicts i-particles through the chip's own datapath, which both
+// matches the hardware behaviour (the same predictor feeds both sides) and
+// guarantees that self-pairs cancel exactly.
+func (b *Backend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
 	n := len(ids)
-	is := make([]chip.IParticle, n)
-	ks := make([]int, n)
+	if len(dst) < n {
+		panic(fmt.Sprintf("gbackend: force buffer of %d for %d i-particles", len(dst), n))
+	}
+	out := dst[:n]
+	b.isBuf = growSlice(b.isBuf, n)
+	b.ksBuf = growSlice(b.ksBuf, n)
+	is, ks := b.isBuf, b.ksBuf
 	for q, id := range ids {
 		k, ok := b.byID[id]
 		if !ok {
@@ -161,28 +186,30 @@ func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []d
 		}
 	}
 
-	out := make([]direct.Force, n)
-	pending := make([]int, n) // indices into is/out still to resolve
-	for q := range pending {
-		pending[q] = q
+	pending := b.pending[:0] // indices into is/out still to resolve
+	for q := 0; q < n; q++ {
+		pending = append(pending, q)
 	}
+	next := b.again[:0]
 
 	for round := 0; len(pending) > 0; round++ {
 		if round > maxRetries {
 			panic(fmt.Sprintf("gbackend: force exponent did not converge after %d retries "+
 				"(non-finite force, e.g. unsoftened collision?)", maxRetries))
 		}
-		batch := make([]chip.IParticle, len(pending))
+		b.batch = growSlice(b.batch, len(pending))
+		batch := b.batch[:len(pending)]
 		for q, p := range pending {
 			batch[q] = is[p]
 		}
-		ps, cycles := b.arr.Forces(t, batch, eps)
-		b.HWCycles += cycles
+		b.partials = growSlice(b.partials, len(batch))
+		ps := b.partials[:len(batch)]
+		b.HWCycles += b.arr.ForcesInto(ps, t, batch, eps)
 		if round > 0 {
 			b.Retries++
 		}
 
-		var again []int
+		next = next[:0]
 		for q, p := range pending {
 			if ps[q].Overflowed() {
 				// Bump the failing groups and retry — the hardware's
@@ -198,21 +225,33 @@ func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []d
 					b.expP[k] += 8
 				}
 				is[p].ExpAcc, is[p].ExpJerk, is[p].ExpPot = b.expA[k], b.expJ[k], b.expP[k]
-				again = append(again, p)
+				next = append(next, p)
 				continue
 			}
-			acc, jerk, pot := chip.PartialValues(ps[q])
+			acc, jerk, pot := chip.PartialValues(&ps[q])
 			out[p] = direct.Force{
 				Acc: acc, Jerk: jerk, Pot: pot,
 				NN: ps[q].NN, NND2: ps[q].NND2,
 			}
 		}
-		pending = again
+		pending, next = next, pending
 	}
+	b.pending, b.again = pending[:0], next[:0]
 	return out
 }
 
-func anyOverflow(as []*gfixed.Accum) bool {
+// Close releases the hardware attachment's worker pool.
+func (b *Backend) Close() { b.arr.Close() }
+
+// growSlice returns s with length ≥ n, reallocating only on growth.
+func growSlice[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n)
+	}
+	return s[:n]
+}
+
+func anyOverflow(as []gfixed.Accum) bool {
 	for _, a := range as {
 		if a.Overflow {
 			return true

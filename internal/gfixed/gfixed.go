@@ -131,10 +131,7 @@ func RoundMantissa(x float64, bits uint) float64 {
 		return x // Inf or NaN
 	}
 	if exp == 0 {
-		// Subnormal: fall back to the slow exact path.
-		frac, e := math.Frexp(x)
-		scaled := math.Ldexp(frac, int(bits))
-		return math.Ldexp(math.RoundToEven(scaled), e-int(bits))
+		return roundSubnormal(x, bits)
 	}
 	// Keep bits-1 stored fraction bits; clear and round the rest.
 	shift := 53 - bits
@@ -150,9 +147,76 @@ func RoundMantissa(x float64, bits uint) float64 {
 	return math.Float64frombits(b)
 }
 
+// roundSubnormal is the slow exact path for subnormal inputs, kept out of
+// line so the normal-number fast path stays within the inlining budget.
+func roundSubnormal(x float64, bits uint) float64 {
+	frac, e := math.Frexp(x)
+	scaled := math.Ldexp(frac, int(bits))
+	return math.Ldexp(math.RoundToEven(scaled), e-int(bits))
+}
+
+// Rounder is a mantissa rounder with the Format's shift/half/mask
+// constants hoisted out, for use in kernels that round in a tight loop.
+// Obtain one via Format.Rounder (the zero value is NOT valid).
+// Rounder.Round is bit-identical to Format.Round but avoids recomputing
+// the masks and the two-deep call chain on every pipeline stage.
+type Rounder struct {
+	bits  uint   // mantissa width; ≥53 (or shift==0) means identity
+	shift uint64 // 53 - bits
+	half  uint64 // 1 << (shift-1)
+	mask  uint64 // 1<<shift - 1
+}
+
+// Rounder returns the precomputed rounder for the format's mantissa width.
+func (f Format) Rounder() Rounder {
+	if f.MantBits >= 53 {
+		// Identity sentinel: shift 64 makes b>>shift zero, half 1 and mask 0
+		// turn the branch-free carry formula into b+1-1+0 — a no-op — so
+		// identity widths need no extra test on the fast path.
+		return Rounder{bits: f.MantBits, shift: 64, half: 1, mask: 0}
+	}
+	shift := uint64(53 - f.MantBits)
+	return Rounder{
+		bits:  f.MantBits,
+		shift: shift,
+		half:  uint64(1) << (shift - 1),
+		mask:  uint64(1)<<shift - 1,
+	}
+}
+
+// Round rounds x to the rounder's mantissa width, round-to-nearest-even.
+// Bit-identical to RoundMantissa(x, bits). The round-up carry is computed
+// branch-free: adding half-1+lsb carries into the kept bits exactly when
+// the dropped fraction exceeds half, or equals half with an odd kept lsb.
+func (r Rounder) Round(x float64) float64 {
+	b := math.Float64bits(x)
+	if e := (b >> 52) & 0x7ff; e-1 >= 0x7fe {
+		// Zero, subnormal, Inf or NaN: off the fast path.
+		return r.roundSpecial(x)
+	}
+	b = (b + r.half - 1 + ((b >> r.shift) & 1)) &^ r.mask
+	return math.Float64frombits(b)
+}
+
+// roundSpecial handles the rare inputs excluded from Round's fast path.
+func (r Rounder) roundSpecial(x float64) float64 {
+	if r.bits >= 53 || x == 0 {
+		return x
+	}
+	if (math.Float64bits(x)>>52)&0x7ff == 0x7ff {
+		return x // Inf or NaN
+	}
+	return roundSubnormal(x, r.bits)
+}
+
 // Accum is a block-floating-point accumulator: Sum counts units of
 // 2^(Exp-AccumFrac). Two accumulators with equal Exp merge by exact
 // integer addition, which is what the module/board FPGA reduction trees do.
+//
+// Accum is a plain value type (no interior pointers) so that slabs of
+// accumulators can be embedded in larger result records and reused across
+// force evaluations without allocation — mirroring the hardware, where
+// every accumulator is a register.
 type Accum struct {
 	Exp      int   // block exponent, fixed before accumulation starts
 	Sum      int64 // fixed-point sum
@@ -161,9 +225,23 @@ type Accum struct {
 	scale    float64 // 2^(AccumFrac-Exp), cached for the hot Add path
 }
 
-// NewAccum returns an accumulator with the given block exponent.
+// MakeAccum returns an accumulator value with the given block exponent.
+func (f Format) MakeAccum(exp int) Accum {
+	return Accum{Exp: exp, fmt: f, scale: math.Ldexp(1, int(f.AccumFrac)-exp)}
+}
+
+// NewAccum returns an accumulator with the given block exponent. Thin shim
+// over MakeAccum for callers that want a heap accumulator.
 func (f Format) NewAccum(exp int) *Accum {
-	return &Accum{Exp: exp, fmt: f, scale: math.Ldexp(1, int(f.AccumFrac)-exp)}
+	a := f.MakeAccum(exp)
+	return &a
+}
+
+// Init re-initialises an accumulator in place: zero sum, cleared overflow
+// flag, new block exponent. Used by callers that reuse accumulator slabs
+// across evaluations.
+func (a *Accum) Init(f Format, exp int) {
+	*a = f.MakeAccum(exp)
 }
 
 // Add quantizes v into the block format and adds it. The quantization is
@@ -171,19 +249,37 @@ func (f Format) NewAccum(exp int) *Accum {
 // of summation order and machine partitioning. Contributions too large for
 // the block exponent set the Overflow flag (the hardware's signal to the
 // host to retry with a larger exponent).
+//
+// The integer rounding uses the 2^52 magic-constant trick instead of
+// math.RoundToEven: for |q| < 2^52 the addition rounds q to an integer in
+// one IEEE round-to-nearest-even operation, and anything ≥ 2^52 is already
+// integral. Bit-identical results, but the whole of Add stays within the
+// compiler's inlining budget for the kernel's accumulation stage.
 func (a *Accum) Add(v float64) {
 	if v == 0 {
 		return
 	}
+	const two52 = 4.503599627370496e15 // 2^52
 	const two62 = 4.611686018427388e18 // 2^62
-	q := math.RoundToEven(v * a.scale)
+	q := v * a.scale
+	if q < two52 && q > -two52 {
+		if q >= 0 {
+			q = q + two52 - two52
+		} else {
+			q = q - two52 + two52
+		}
+	}
 	// The comparison rejects over-range values, ±Inf and NaN in one shot.
 	if !(q < two62 && q > -two62) {
 		a.Overflow = true
 		return
 	}
-	s, ok := addCheck(a.Sum, int64(q))
-	if !ok || s >= 1<<62 || s <= -(1<<62) {
+	qi := int64(q)
+	s := a.Sum + qi
+	// Reject saturation (|s| ≥ 2^62) and two's-complement wraparound
+	// (operands share a sign, sum's sign differs) in one predicate.
+	if s >= 1<<62 || s <= -(1<<62) ||
+		((a.Sum >= 0) == (qi >= 0) && (s >= 0) != (a.Sum >= 0) && a.Sum != 0 && qi != 0) {
 		a.Overflow = true
 		return
 	}

@@ -356,6 +356,7 @@ func TestAccumAccuracy(t *testing.T) {
 
 func BenchmarkAccumAdd(b *testing.B) {
 	a := Grape6.NewAccum(8)
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		a.Add(0.123456789)
 		if a.Overflow {

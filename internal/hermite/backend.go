@@ -33,6 +33,16 @@ type Backend interface {
 	NJ() int
 }
 
+// ForcesIntoBackend is the optional allocation-free extension of Backend:
+// results are written into the caller-owned dst (len(dst) ≥ len(ids)) and
+// the filled prefix is returned. The integrator type-asserts for it and
+// reuses one buffer across block steps, so backends that implement it make
+// the whole force path allocation-free in steady state.
+type ForcesIntoBackend interface {
+	Backend
+	ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force
+}
+
 // jstate is the per-particle state a backend needs to run the predictor
 // pipeline, eqs. (6)-(7).
 type jstate struct {
@@ -102,6 +112,11 @@ func (b *DirectBackend) NJ() int { return len(b.js) }
 
 // Forces implements Backend.
 func (b *DirectBackend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
+	return b.ForcesInto(make([]direct.Force, len(ids)), t, ids, xi, vi, eps)
+}
+
+// ForcesInto implements ForcesIntoBackend.
+func (b *DirectBackend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
 	// Predictor pass over all stored j-particles (the chip's predictor
 	// pipeline does exactly this in hardware).
 	for i := range b.js {
@@ -110,7 +125,7 @@ func (b *DirectBackend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float6
 	}
 	js := direct.JSet{Mass: b.mass, Pos: b.pos, Vel: b.vel}
 	if len(xi) >= 16 && len(b.js) >= 512 {
-		return direct.EvalAllParallel(xi, vi, js, eps, false)
+		return direct.EvalAllParallelInto(dst, xi, vi, js, eps, false)
 	}
-	return direct.EvalAll(xi, vi, js, eps, false)
+	return direct.EvalAllInto(dst, xi, vi, js, eps, false)
 }

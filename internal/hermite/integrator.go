@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"grape6/internal/direct"
 	"grape6/internal/nbody"
 	"grape6/internal/vec"
 )
@@ -83,6 +84,20 @@ type Integrator struct {
 	ids   []int
 	xp    []vec.V3
 	vp    []vec.V3
+	fbuf  []direct.Force // force results, reused when the backend supports it
+}
+
+// forces evaluates block forces through the backend, using the
+// allocation-free ForcesInto path when the backend provides it.
+func (it *Integrator) forces(t float64, ids []int, xi, vi []vec.V3) []direct.Force {
+	fb, ok := it.B.(ForcesIntoBackend)
+	if !ok {
+		return it.B.Forces(t, ids, xi, vi, it.P.Eps)
+	}
+	if cap(it.fbuf) < len(ids) {
+		it.fbuf = make([]direct.Force, len(ids))
+	}
+	return fb.ForcesInto(it.fbuf[:len(ids)], t, ids, xi, vi, it.P.Eps)
 }
 
 // New initialises the integrator: it computes forces on all particles at
@@ -113,7 +128,7 @@ func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
 	for i := range ids {
 		ids[i] = i
 	}
-	fs := b.Forces(t0, ids, sys.Pos, sys.Vel, p.Eps)
+	fs := it.forces(t0, ids, sys.Pos, sys.Vel)
 	for i := 0; i < sys.N; i++ {
 		sys.Acc[i] = fs[i].Acc
 		sys.Jerk[i] = fs[i].Jerk
@@ -170,7 +185,7 @@ func (it *Integrator) Step() BlockStat {
 		xp[k], vp[k] = Predict(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i], dt)
 	}
 
-	fs := it.B.Forces(t, it.ids, xp, vp, it.P.Eps)
+	fs := it.forces(t, it.ids, xp, vp)
 
 	for k, i := range it.block {
 		dt := t - sys.Time[i]

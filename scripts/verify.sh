@@ -1,0 +1,30 @@
+#!/bin/sh
+# verify.sh — the repo's verification gauntlet, in tiers.
+#
+# Tier 1 (fast, required for every change):
+#   build + full test suite
+# Tier 2 (static + concurrency, required for changes touching hot paths
+#   or anything under internal/board / internal/parallel):
+#   go vet + race detector on the concurrent packages
+#
+# Usage: scripts/verify.sh [tier]
+#   scripts/verify.sh       # run all tiers
+#   scripts/verify.sh 1     # tier 1 only
+set -eu
+cd "$(dirname "$0")/.."
+
+tier="${1:-all}"
+
+if [ "$tier" = 1 ] || [ "$tier" = all ]; then
+	echo "== tier 1: build + tests =="
+	go build ./...
+	go test ./...
+fi
+
+if [ "$tier" = 2 ] || [ "$tier" = all ]; then
+	echo "== tier 2: vet + race =="
+	go vet ./...
+	go test -race ./internal/board/... ./internal/parallel/...
+fi
+
+echo "verify: OK ($tier)"
