@@ -6,10 +6,12 @@
 package grape6_test
 
 import (
+	"math"
 	"testing"
 
 	"grape6/internal/bench"
 	"grape6/internal/chip"
+	"grape6/internal/direct"
 	"grape6/internal/gbackend"
 	"grape6/internal/hermite"
 	"grape6/internal/model"
@@ -246,6 +248,95 @@ func BenchmarkEmulatedChipThroughput(b *testing.B) {
 		ch.ForceBatch(0, is, 1.0/64)
 	}
 	b.ReportMetric(float64(48*sys.N*b.N)/b.Elapsed().Seconds(), "pairs/s")
+}
+
+// predictChip loads one default chip with n Plummer particles for the
+// predictor benchmarks.
+func predictChip(b *testing.B, n int) (*chip.Chip, []chip.JParticle) {
+	b.Helper()
+	sys := model.Plummer(n, xrand.New(3))
+	ch := chip.New(chip.Default)
+	f := chip.Default.Format
+	js := make([]chip.JParticle, sys.N)
+	for i := 0; i < sys.N; i++ {
+		p, err := chip.MakeJParticle(f, i, 0, sys.Mass[i], sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		js[i] = p
+	}
+	if err := ch.LoadJ(js); err != nil {
+		b.Fatal(err)
+	}
+	return ch, js
+}
+
+// BenchmarkPredictFull is the pre-existing predictor cost: one serial
+// whole-memory predict per op, with the time advancing every iteration so
+// the same-t memo never hits (the individual-timestep regime).
+func BenchmarkPredictFull(b *testing.B) {
+	ch, _ := predictChip(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ch.Predict(float64(i+1) * math.Ldexp(1, -30))
+	}
+}
+
+// BenchmarkPredictStriped runs the same predict pass striped across the
+// host's cores through PredictRange — the board predict stage's inner
+// loop. On a single-core host it degenerates to the serial pass.
+func BenchmarkPredictStriped(b *testing.B) {
+	ch, _ := predictChip(b, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i+1) * math.Ldexp(1, -30)
+		direct.ParallelFor(ch.NJ(), 512, func(lo, hi int) {
+			ch.PredictRange(t, lo, hi)
+		})
+		ch.MarkPredicted(t)
+	}
+}
+
+// BenchmarkPredictSlotPatch measures the corrector write path when the
+// prediction cache is current: WriteJ re-predicts only the touched slot,
+// O(1) instead of the O(N_j) whole-memory invalidation it replaced.
+func BenchmarkPredictSlotPatch(b *testing.B) {
+	ch, js := predictChip(b, 4096)
+	ch.Predict(math.Ldexp(1, -10))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ch.WriteJ(i%len(js), js[i%len(js)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSmallBlockStep is the Figure 14 small-block regime end to end:
+// an individual-timestep integration on an emulated 4-chip attachment in
+// steady state, where every block advances the time and the predictor
+// would dominate without the parallel predict stage and slot patching.
+func BenchmarkSmallBlockStep(b *testing.B) {
+	cfg := gboard.Default
+	cfg.ChipsPerModule = 2
+	cfg.ModulesPerBoard = 2
+	cfg.Boards = 1 // 4 chips
+	sys := model.Plummer(2048, xrand.New(11))
+	it, err := hermite.New(sys, gbackend.New(gboard.New(cfg)), hermite.DefaultParams(1.0/64))
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Settle out of the synchronised start into individual-timestep steady
+	// state, where blocks are small.
+	for i := 0; i < 64; i++ {
+		it.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		steps += int64(it.Step().Size)
+	}
+	b.ReportMetric(float64(steps)/float64(b.N), "particles/block")
 }
 
 // BenchmarkHermiteOnEmulatedHardware measures end-to-end integration speed

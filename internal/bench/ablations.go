@@ -105,12 +105,13 @@ func RunAblationAccumulator(o *Options) (Experiment, error) {
 			return e, err
 		}
 		var maxRel float64
+		ps := make([]chip.Partial, 1)
 		for i := 0; i < 16; i++ {
 			ip := chip.IParticle{SelfID: i, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
 			x, v := chip.PredictParticle(cfg.Format, &js[i], 0)
 			ip.X, ip.V = x, v
-			ps, _ := ch.ForceBatch(0, []chip.IParticle{ip}, eps)
-			acc, _, _ := chip.PartialValues(ps[0])
+			ch.ForceBatchInto(ps, 0, []chip.IParticle{ip}, eps)
+			acc, _, _ := chip.PartialValues(&ps[0])
 			want := direct.EvalSkip(sys.Pos[i], sys.Vel[i], ref, eps, i)
 			rel := acc.Dist(want.Acc) / want.Acc.Norm()
 			if rel > maxRel {

@@ -17,6 +17,7 @@ import (
 	"math/bits"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"grape6/internal/chip"
 )
@@ -77,16 +78,32 @@ type jloc struct {
 // Array is the emulated multi-board attachment of one host.
 //
 // Force evaluation above a small-workload threshold runs on a persistent
-// worker pool: the goroutines are spawned once (lazily, on first use),
-// each owns a static share of the chips plus reusable partial slabs, and
-// they stay parked on a job channel between calls — the emulation
-// counterpart of the real chips running continuously. Close releases the
-// pool; a closed Array may keep being used (the pool respawns lazily).
+// worker pool: GOMAXPROCS goroutines are spawned once (lazily, on first
+// use), each with reusable partial slabs, and they stay parked on a job
+// channel between calls — the emulation counterpart of the real chips
+// running continuously. Work is striped dynamically: each job carries a
+// list of (chip, j-range) spans that workers claim with an atomic cursor,
+// so every core participates even when the configuration has fewer chips
+// than the host has cores. Two job kinds run on the pool:
+//
+//   - a PREDICT stage (the chip predictor pipelines, which on the real
+//     machine run concurrently with the force pipelines): BeginPredict
+//     kicks it asynchronously so it overlaps host-side work, and any
+//     subsequent memory operation joins it;
+//   - the FORCE stage, whose per-span partials are pre-merged per worker
+//     and reduced exactly afterwards (integer accumulator adds, so span
+//     striping cannot change a result bit — the Section 3.4
+//     partition-invariance property applied within chips).
+//
+// Close releases the pool (joining any in-flight predict); a closed Array
+// may keep being used (the pool respawns lazily).
 //
 // An Array serves one host: like the real hardware's memory bus, force
 // evaluations on the same Array must not run concurrently with each other
 // or with loads/updates (the worker slabs and scratch are reused between
-// calls). Distinct Arrays are fully independent.
+// calls). BeginPredict is the one sanctioned overlap: between the kick
+// and the implicit join the caller may do anything that does not touch
+// this Array's memory. Distinct Arrays are fully independent.
 type Array struct {
 	cfg   Config
 	chips []*chip.Chip
@@ -96,6 +113,52 @@ type Array struct {
 	mu      sync.Mutex // guards pool creation and Close
 	workers []*forceWorker
 	scratch []chip.Partial // serial-path per-chip scratch, reused across calls
+
+	fc          forceCall   // striped force-stage state, reused across calls
+	pc          predictCall // striped predict-stage state, reused across calls
+	predPending bool        // a BeginPredict is in flight (join before use)
+}
+
+// serialWorkMax is the pairwise-interaction count below which the force
+// evaluation stays on the caller's goroutine: the pool handoff costs more
+// than the work.
+const serialWorkMax = 4096
+
+// asyncPredictMin is the j-memory size below which BeginPredict does not
+// bother the pool (the chips' lazy predict in the force pass is cheaper
+// than a stage handoff).
+const asyncPredictMin = 256
+
+// span is one claimable unit of pool work: slots [lo, hi) of one chip.
+type span struct {
+	chip   int
+	lo, hi int
+}
+
+// minStripe floors the span length so the atomic claim overhead stays
+// negligible against the per-slot work.
+const minStripe = 64
+
+// stripeLen returns the span length for striping `total` j-slots across
+// the pool: about four claims per worker for dynamic load balance.
+func stripeLen(total int) int {
+	l := total / (4 * runtime.GOMAXPROCS(0))
+	if l < minStripe {
+		l = minStripe
+	}
+	return l
+}
+
+// appendSpans appends spans covering [0, nj) of chip ci in stripes of l.
+func appendSpans(units []span, ci, nj, l int) []span {
+	for lo := 0; lo < nj; lo += l {
+		hi := lo + l
+		if hi > nj {
+			hi = nj
+		}
+		units = append(units, span{chip: ci, lo: lo, hi: hi})
+	}
+	return units
 }
 
 // New builds the attachment. It panics on invalid configuration.
@@ -122,6 +185,7 @@ func (a *Array) NJ() int { return a.nj }
 // GRAPE-6 local-memory design of Section 3.4) and records their locations
 // for later updates.
 func (a *Array) LoadJ(ps []chip.JParticle) error {
+	a.joinPredict()
 	nc := len(a.chips)
 	buckets := make([][]chip.JParticle, nc)
 	per := (len(ps) + nc - 1) / nc
@@ -143,63 +207,120 @@ func (a *Array) LoadJ(ps []chip.JParticle) error {
 	return nil
 }
 
-// UpdateJ rewrites the memory image of an already-loaded particle.
+// UpdateJ rewrites the memory image of an already-loaded particle. When
+// the owning chip's prediction cache is current, only that particle's
+// cached prediction is re-evaluated (see chip.WriteJ), so a block update
+// costs O(block) predictor evaluations instead of O(N_j) at the next
+// same-time force pass.
 func (a *Array) UpdateJ(p chip.JParticle) error {
 	l, ok := a.loc[p.ID]
 	if !ok {
 		return fmt.Errorf("board: particle %d not loaded", p.ID)
 	}
+	a.joinPredict()
 	return a.chips[l.chip].WriteJ(l.slot, p)
 }
 
-// forceJob is one force evaluation broadcast to every pool worker.
-type forceJob struct {
-	t   float64
-	is  []chip.IParticle
-	eps float64
-	wg  *sync.WaitGroup
+// jobKind tags the stage a poolJob runs.
+type jobKind uint8
+
+const (
+	jobForce jobKind = iota
+	jobPredict
+)
+
+// poolJob is one stage broadcast to every pool worker. The call state is
+// shared: workers claim spans from it with an atomic cursor and signal
+// the stage's WaitGroup when the span list is drained.
+type poolJob struct {
+	kind    jobKind
+	force   *forceCall
+	predict *predictCall
 }
 
-// forceWorker owns a static share of the chips and reusable result slabs.
-// Between calls it is parked on the jobs channel; within a call it
-// pre-merges its chips' partials locally (exact integer adds, so the
-// pre-merge is bit-identical to any other merge order — the Section 3.4
-// property) and leaves the merged slab plus its worst chip cycle count for
-// the caller to collect after wg.Wait.
+// forceCall is the shared state of one striped force evaluation.
+type forceCall struct {
+	t     float64
+	is    []chip.IParticle
+	eps   float64
+	chips []*chip.Chip
+	units []span
+	next  int64 // atomic span-claim cursor
+	wg    sync.WaitGroup
+}
+
+// predictCall is the shared state of one striped predict stage: spans
+// cover every chip whose prediction cache does not already hold time t.
+type predictCall struct {
+	t     float64
+	chips []*chip.Chip
+	units []span
+	next  int64
+	wg    sync.WaitGroup
+}
+
+// forceWorker is one persistent pool goroutine with reusable result
+// slabs. Between calls it is parked on the jobs channel; within a force
+// job it pre-merges the partials of every span it claims (exact integer
+// adds, so the pre-merge is bit-identical to any other merge order — the
+// Section 3.4 property) and leaves the merged slab for the caller to
+// reduce after the join.
 type forceWorker struct {
-	chips   []*chip.Chip
-	jobs    chan forceJob
+	jobs    chan poolJob
 	merged  []chip.Partial // this worker's pre-merged partials, one per i
-	scratch []chip.Partial // per-chip result buffer
-	cycles  int64          // max chip cycles of the last job
+	scratch []chip.Partial // per-span result buffer
+	claimed int            // spans claimed in the last force job
 }
 
 func (w *forceWorker) run() {
 	for job := range w.jobs {
-		w.do(job)
-		job.wg.Done()
+		switch job.kind {
+		case jobForce:
+			w.doForce(job.force)
+			job.force.wg.Done()
+		case jobPredict:
+			w.doPredict(job.predict)
+			job.predict.wg.Done()
+		}
 	}
 }
 
-func (w *forceWorker) do(job forceJob) {
-	n := len(job.is)
+func (w *forceWorker) doForce(c *forceCall) {
+	n := len(c.is)
 	w.merged = growPartials(w.merged, n)
 	w.scratch = growPartials(w.scratch, n)
-	w.cycles = 0
-	for ci, ch := range w.chips {
+	w.claimed = 0
+	for {
+		u := int(atomic.AddInt64(&c.next, 1)) - 1
+		if u >= len(c.units) {
+			return
+		}
+		s := c.units[u]
 		dst := w.merged[:n]
-		if ci > 0 {
+		if w.claimed > 0 {
 			dst = w.scratch[:n]
 		}
-		cy := ch.ForceBatchInto(dst, job.t, job.is, job.eps)
-		if cy > w.cycles {
-			w.cycles = cy
-		}
-		if ci > 0 {
+		// The predict stage has already filled every chip's cache for c.t
+		// (ForcesInto guarantees it), so concurrent range calls on one
+		// chip are pure reads of the memory and the cache.
+		c.chips[s.chip].ForceBatchRangeInto(dst, c.t, c.is, c.eps, s.lo, s.hi)
+		if w.claimed > 0 {
 			for i := 0; i < n; i++ {
 				w.merged[i].Merge(&w.scratch[i])
 			}
 		}
+		w.claimed++
+	}
+}
+
+func (w *forceWorker) doPredict(c *predictCall) {
+	for {
+		u := int(atomic.AddInt64(&c.next, 1)) - 1
+		if u >= len(c.units) {
+			return
+		}
+		s := c.units[u]
+		c.chips[s.chip].PredictRange(c.t, s.lo, s.hi)
 	}
 }
 
@@ -211,22 +332,16 @@ func growPartials(s []chip.Partial, n int) []chip.Partial {
 	return s[:n]
 }
 
-// pool returns the persistent workers, spawning them on first use. The
-// chips are split into contiguous shares, one per worker, up to
-// GOMAXPROCS workers.
+// pool returns the persistent workers, spawning them on first use: one
+// per GOMAXPROCS, independent of the chip count, since work is striped by
+// (chip, j-range) spans rather than whole chips.
 func (a *Array) pool() []*forceWorker {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.workers == nil {
-		nc := len(a.chips)
-		nw := runtime.GOMAXPROCS(0)
-		if nw > nc {
-			nw = nc
-		}
-		a.workers = make([]*forceWorker, nw)
+		a.workers = make([]*forceWorker, runtime.GOMAXPROCS(0))
 		for wi := range a.workers {
-			lo, hi := wi*nc/nw, (wi+1)*nc/nw
-			w := &forceWorker{chips: a.chips[lo:hi], jobs: make(chan forceJob)}
+			w := &forceWorker{jobs: make(chan poolJob)}
 			a.workers[wi] = w
 			go w.run()
 		}
@@ -234,10 +349,12 @@ func (a *Array) pool() []*forceWorker {
 	return a.workers
 }
 
-// Close shuts down the worker pool. It is safe to call multiple times and
-// on an Array whose pool never started; the Array remains usable (a later
-// Forces call lazily respawns the pool).
+// Close shuts down the worker pool, joining any in-flight predict stage
+// first. It is safe to call multiple times and on an Array whose pool
+// never started; the Array remains usable (a later Forces call lazily
+// respawns the pool).
 func (a *Array) Close() {
+	a.joinPredict()
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	for _, w := range a.workers {
@@ -246,13 +363,81 @@ func (a *Array) Close() {
 	a.workers = nil
 }
 
+// BeginPredict starts the pool-wide predict stage for time t — every
+// chip's j-memory striped across all workers, the emulation counterpart
+// of the on-chip predictor pipelines running concurrently with host work
+// — and returns immediately. The next ForcesInto at t finds the caches
+// hot; any other memory operation (load, update, close, a force pass at a
+// different time) joins the stage first, so overlap is never observable
+// in results. Callers use it to hide prediction behind host-side work:
+// the backend kicks it before staging i-particles, and the integrator
+// prefetches the next block's time while correcting the current block.
+//
+// On a single-core host (or a tiny j-memory) it is a no-op; the chips
+// predict lazily in the force pass instead.
+func (a *Array) BeginPredict(t float64) {
+	if a.predPending {
+		if a.pc.t == t {
+			return // already in flight for this time
+		}
+		a.joinPredict()
+	}
+	if runtime.GOMAXPROCS(0) <= 1 || a.nj < asyncPredictMin {
+		return
+	}
+	a.startPredict(t)
+}
+
+// startPredict stripes prediction at time t across the pool without
+// waiting. Any previous stage must have been joined.
+func (a *Array) startPredict(t float64) {
+	pc := &a.pc
+	pc.units = pc.units[:0]
+	l := stripeLen(a.nj)
+	for ci, ch := range a.chips {
+		if !ch.PredictedAt(t) {
+			pc.units = appendSpans(pc.units, ci, ch.NJ(), l)
+		}
+	}
+	if len(pc.units) == 0 {
+		// Every chip is already at t (an empty memory trivially so).
+		for _, ch := range a.chips {
+			ch.MarkPredicted(t)
+		}
+		return
+	}
+	pc.t = t
+	pc.chips = a.chips
+	pc.next = 0
+	workers := a.pool()
+	pc.wg.Add(len(workers))
+	for _, w := range workers {
+		w.jobs <- poolJob{kind: jobPredict, predict: pc}
+	}
+	a.predPending = true
+}
+
+// joinPredict waits for an in-flight predict stage and validates the
+// chips' caches. The join happens-before the cache marking, so the
+// striped writes are visible to whoever runs the force pass next.
+func (a *Array) joinPredict() {
+	if !a.predPending {
+		return
+	}
+	a.pc.wg.Wait()
+	a.predPending = false
+	for _, ch := range a.chips {
+		ch.MarkPredicted(a.pc.t)
+	}
+}
+
 // Forces evaluates forces on the i-particles from all loaded j-particles
 // predicted to time t. It returns the merged partial results (one per
 // i-particle, bit-identical to a single-chip evaluation) and the number of
 // hardware clock cycles the attachment is busy.
 //
-// This is the allocating convenience wrapper over ForcesInto: it builds
-// one flat slab of partials and returns pointers into it.
+// Deprecated: this allocating pointer-returning wrapper remains for tests
+// and exploratory code; hot paths use ForcesInto with a reused slab.
 func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
 	slab := make([]chip.Partial, len(is))
 	cycles := a.ForcesInto(slab, t, is, eps)
@@ -272,16 +457,20 @@ func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Par
 // time is the maximum chip time (the chips' memory loads differ by at most
 // one particle); the reduction trees add one pipeline stage per level:
 // ceil(log2 chips/module) within the module, ceil(log2 modules) on the
-// board, and ceil(log2 boards) on the network board.
+// board, and ceil(log2 boards) on the network board. The cycle count is
+// computed analytically from the workload shape (chip.Config.BatchCycles),
+// so it is independent of how the emulation stripes the work across host
+// cores.
 func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
 	if len(dst) < len(is) {
 		panic(fmt.Sprintf("board: partial slab of %d for %d i-particles", len(dst), len(is)))
 	}
+	a.joinPredict()
 	nc := len(a.chips)
 	n := len(is)
 	var maxCycles int64
 
-	if runtime.GOMAXPROCS(0) <= 1 || n*a.nj < 4096 {
+	if runtime.GOMAXPROCS(0) <= 1 || n*a.nj < serialWorkMax {
 		// Small workload: the goroutine handoff costs more than the work.
 		a.scratch = growPartials(a.scratch, n)
 		for c := 0; c < nc; c++ {
@@ -302,25 +491,56 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 		return maxCycles + a.reductionCycles()
 	}
 
-	workers := a.pool()
-	var wg sync.WaitGroup
-	wg.Add(len(workers))
-	job := forceJob{t: t, is: is, eps: eps, wg: &wg}
-	for _, w := range workers {
-		w.jobs <- job
-	}
-	wg.Wait()
+	// Predict stage: if the prefetch did not already run (or ran for a
+	// different time), stripe it across the pool now — the force spans
+	// below touch chips concurrently and must find the caches hot.
+	a.startPredict(t)
+	a.joinPredict()
 
-	// Reduction: exact merges, tree order irrelevant by construction.
-	copy(dst[:n], workers[0].merged[:n])
-	for _, w := range workers {
-		if w.cycles > maxCycles {
-			maxCycles = w.cycles
-		}
+	// Force stage: stripe (chip, j-range) spans across the pool.
+	fc := &a.fc
+	fc.t, fc.is, fc.eps, fc.chips = t, is, eps, a.chips
+	fc.units = fc.units[:0]
+	l := stripeLen(a.nj)
+	for ci, ch := range a.chips {
+		fc.units = appendSpans(fc.units, ci, ch.NJ(), l)
 	}
-	for _, w := range workers[1:] {
+	fc.next = 0
+	workers := a.pool()
+	fc.wg.Add(len(workers))
+	for _, w := range workers {
+		w.jobs <- poolJob{kind: jobForce, force: fc}
+	}
+	fc.wg.Wait()
+	fc.is = nil // do not retain the caller's batch across calls
+
+	// Reduction: exact merges, span distribution and order irrelevant by
+	// construction. Workers that claimed no span contribute nothing.
+	first := true
+	for _, w := range workers {
+		if w.claimed == 0 {
+			continue
+		}
+		if first {
+			copy(dst[:n], w.merged[:n])
+			first = false
+			continue
+		}
 		for i := 0; i < n; i++ {
 			dst[i].Merge(&w.merged[i])
+		}
+	}
+	if first {
+		// Empty j-memory: initialise the slab exactly as a chip would.
+		f := a.cfg.Chip.Format
+		for i := 0; i < n; i++ {
+			dst[i].Init(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
+		}
+	}
+
+	for _, ch := range a.chips {
+		if cy := a.cfg.Chip.BatchCycles(n, ch.NJ()); cy > maxCycles {
+			maxCycles = cy
 		}
 	}
 	return maxCycles + a.reductionCycles()

@@ -3,6 +3,7 @@ package board
 import (
 	"encoding/binary"
 	"hash/fnv"
+	"math"
 	"testing"
 
 	"grape6/internal/chip"
@@ -70,6 +71,103 @@ func TestGoldenBitIdentityWorkerPool(t *testing.T) {
 	})
 	if got != seedKernelHash {
 		t.Errorf("worker-pool hash %#016x differs from seed kernel %#016x", got, seedKernelHash)
+	}
+}
+
+// multiStepHash is the FNV-1a hash of a 24-block individual-timestep
+// workload: every block advances the time (so the same-t predict memo
+// never hits), evaluates forces on a 4-particle block and writes the
+// corrected block back through UpdateJ — exercising predict prefetch,
+// striped prediction and slot-level cache patching together. Captured
+// from the serial pre-optimization path.
+const multiStepHash = 0x12ad9bc6633aaa87
+
+// multiStepWorkloadHash runs the workload on a; prefetch, when true,
+// kicks BeginPredict for the next block time right after the corrector
+// writes — the integrator's host/GRAPE overlap pattern.
+func multiStepWorkloadHash(t *testing.T, a *Array, prefetch bool) uint64 {
+	t.Helper()
+	js, _ := loadPlummer(t, a, 2048, 77)
+	f := a.Config().Chip.Format
+
+	h := fnv.New64a()
+	var buf [8]byte
+	w := func(v int64) {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		h.Write(buf[:])
+	}
+
+	const nb = 4
+	dst := make([]chip.Partial, nb)
+	is := make([]chip.IParticle, nb)
+	eps := 1.0 / 64
+	for step := 0; step < 24; step++ {
+		tm := float64(step+1) * math.Ldexp(1, -9)
+		lo := (step * nb) % len(js)
+		for q := 0; q < nb; q++ {
+			j := &js[lo+q]
+			x, v := chip.PredictParticle(f, j, tm)
+			is[q] = chip.IParticle{X: x, V: v, SelfID: j.ID, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
+		}
+		a.ForcesInto(dst, tm, is, eps)
+		for q := 0; q < nb; q++ {
+			p := &dst[q]
+			for c := 0; c < 3; c++ {
+				w(p.Acc[c].Sum)
+				w(p.Jerk[c].Sum)
+			}
+			w(p.Pot.Sum)
+			w(int64(p.NN))
+		}
+		// Corrector stand-in: rewrite the block particles' memory images
+		// with T0 = tm and deterministically perturbed state — slot-patch
+		// traffic against the still-current prediction cache.
+		for q := 0; q < nb; q++ {
+			j := js[lo+q]
+			j.T0 = tm
+			x, v := chip.PredictParticle(f, &js[lo+q], tm)
+			j.X = x
+			j.V = v
+			for c := 0; c < 3; c++ {
+				j.A[c] = f.Round(j.A[c] + math.Ldexp(float64(step+1), -20))
+			}
+			js[lo+q] = j
+			if err := a.UpdateJ(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if prefetch {
+			a.BeginPredict(float64(step+2) * math.Ldexp(1, -9))
+		}
+	}
+	return h.Sum64()
+}
+
+func TestGoldenMultiStepSerial(t *testing.T) {
+	a := New(smallConfig())
+	defer a.Close()
+	if got := multiStepWorkloadHash(t, a, false); got != multiStepHash {
+		t.Errorf("serial multi-step hash %#016x, want %#016x", got, multiStepHash)
+	}
+}
+
+func TestGoldenMultiStepParallel(t *testing.T) {
+	forceParallel(t)
+	a := New(smallConfig())
+	defer a.Close()
+	if got := multiStepWorkloadHash(t, a, false); got != multiStepHash {
+		t.Errorf("parallel multi-step hash %#016x, want %#016x", got, multiStepHash)
+	}
+}
+
+func TestGoldenMultiStepParallelPrefetch(t *testing.T) {
+	// Async BeginPredict between blocks — the overlapped predictor must
+	// not change a bit either.
+	forceParallel(t)
+	a := New(smallConfig())
+	defer a.Close()
+	if got := multiStepWorkloadHash(t, a, true); got != multiStepHash {
+		t.Errorf("prefetch multi-step hash %#016x, want %#016x", got, multiStepHash)
 	}
 }
 

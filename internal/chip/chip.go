@@ -194,13 +194,19 @@ func (ch *Chip) LoadJ(ps []JParticle) error {
 }
 
 // WriteJ updates one memory slot (the host's j-particle update path after
-// a block is corrected).
+// a block is corrected). When the prediction cache is current, only the
+// written slot's cached prediction is re-evaluated — PredictParticle is
+// deterministic per (particle, t), so patching one slot at the cached time
+// is bit-identical to invalidating and cold re-predicting the whole
+// memory, at 1/NJ of the cost.
 func (ch *Chip) WriteJ(slot int, p JParticle) error {
 	if slot < 0 || slot >= len(ch.mem) {
 		return fmt.Errorf("chip: slot %d out of range [0,%d)", slot, len(ch.mem))
 	}
 	ch.mem[slot] = p
-	ch.predOK = false
+	if ch.predOK {
+		ch.px[slot], ch.pv[slot] = PredictParticle(ch.cfg.Format, &p, ch.predT)
+	}
 	return nil
 }
 
@@ -227,14 +233,33 @@ func (ch *Chip) growPred() {
 // difference, making the self-interaction contribute nothing to the
 // acceleration and jerk (and exactly -m/ε to the potential).
 func PredictParticle(f gfixed.Format, j *JParticle, t float64) (x [3]gfixed.Fixed64, v [3]float64) {
-	dt := f.Round(t - j.T0)
+	return predictParticle(f, f.Rounder(), j, t)
+}
+
+// predictParticle is PredictParticle with the mantissa rounder hoisted by
+// the caller — the predictor's pipeline stages are all mantissa roundings,
+// so batch callers (PredictRange) pay the mask setup once per stripe
+// instead of once per operation. Rounder.Round is bit-identical to
+// Format.Round (gfixed's differential tests), so results are unchanged.
+func predictParticle(f gfixed.Format, r gfixed.Rounder, j *JParticle, t float64) (x [3]gfixed.Fixed64, v [3]float64) {
+	dt := r.Round(t - j.T0)
+	if dt == 0 {
+		// A particle updated at exactly time t predicts to its stored
+		// state: every polynomial term carries a factor dt. The stored
+		// velocity is re-rounded for callers that bypassed MakeJParticle
+		// (rounding is idempotent, so this matches the polynomial path).
+		for c := 0; c < 3; c++ {
+			v[c] = r.Round(j.V[c])
+		}
+		return j.X, v
+	}
 	for c := 0; c < 3; c++ {
 		// Horner evaluation of the displacement polynomial
 		// dt·(v + dt/2·(a + dt/3·(j + dt/4·s))), rounded per stage.
-		poly := f.Round(j.J[c] + f.Round(dt/4*j.S[c]))
-		poly = f.Round(j.A[c] + f.Round(dt/3*poly))
-		poly = f.Round(j.V[c] + f.Round(dt/2*poly))
-		disp := f.Round(dt * poly)
+		poly := r.Round(j.J[c] + r.Round(dt/4*j.S[c]))
+		poly = r.Round(j.A[c] + r.Round(dt/3*poly))
+		poly = r.Round(j.V[c] + r.Round(dt/2*poly))
+		disp := r.Round(dt * poly)
 		dq, err := f.ToFixed(disp)
 		if err != nil {
 			// Out-of-range prediction: clamp to the format's edge; the
@@ -249,36 +274,82 @@ func PredictParticle(f gfixed.Format, j *JParticle, t float64) (x [3]gfixed.Fixe
 		x[c] = j.X[c] + dq
 
 		// Velocity predictor, eq. (7) truncated at snap.
-		vp := f.Round(j.S[c]*dt/3 + j.J[c])
-		vp = f.Round(j.A[c] + f.Round(dt/2*vp))
-		v[c] = f.Round(j.V[c] + f.Round(dt*vp))
+		vp := r.Round(j.S[c]*dt/3 + j.J[c])
+		vp = r.Round(j.A[c] + r.Round(dt/2*vp))
+		v[c] = r.Round(j.V[c] + r.Round(dt*vp))
 	}
 	return x, v
+}
+
+// PredictRange runs the predictor pipeline over the memory slots [lo, hi)
+// at time t, writing the predictions into the chip's cache WITHOUT
+// validating it. It is the striping primitive for a pool-wide parallel
+// predict stage: concurrent calls on disjoint ranges are race-free (each
+// touches only its own cache slots), and once stripes covering the whole
+// memory have completed, the coordinator calls MarkPredicted(t). Results
+// are bit-identical to a serial Predict(t) because each slot's prediction
+// depends only on (particle, t). Out-of-range bounds are clamped.
+func (ch *Chip) PredictRange(t float64, lo, hi int) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ch.mem) {
+		hi = len(ch.mem)
+	}
+	f := ch.cfg.Format
+	r := f.Rounder()
+	for k := lo; k < hi; k++ {
+		ch.px[k], ch.pv[k] = predictParticle(f, r, &ch.mem[k], t)
+	}
+}
+
+// MarkPredicted declares the prediction cache valid for time t. It must
+// only be called after PredictRange calls at t have covered every stored
+// slot since the last memory write; the board's striped predict stage
+// does exactly that before marking.
+func (ch *Chip) MarkPredicted(t float64) {
+	ch.predT = t
+	ch.predOK = true
+}
+
+// PredictedAt reports whether the prediction cache currently holds every
+// stored particle predicted to time t.
+func (ch *Chip) PredictedAt(t float64) bool {
+	return ch.predOK && ch.predT == t
 }
 
 // Predict runs the predictor pipeline: every stored j-particle is advanced
 // to time t via PredictParticle and cached for the force pipelines.
 func (ch *Chip) Predict(t float64) {
-	if ch.predOK && ch.predT == t {
+	if ch.PredictedAt(t) {
 		return
 	}
-	for k := range ch.mem {
-		ch.px[k], ch.pv[k] = PredictParticle(ch.cfg.Format, &ch.mem[k], t)
-	}
-	ch.predT = t
-	ch.predOK = true
+	ch.PredictRange(t, 0, len(ch.mem))
+	ch.MarkPredicted(t)
 }
 
 // Fixed64Max is the largest fixed-point coordinate value.
 const Fixed64Max = gfixed.Fixed64(math.MaxInt64)
+
+// BatchCycles returns the number of clock cycles a batch of ni i-particles
+// against nj j-particles occupies the chip: the i-particles are served in
+// passes of Pipelines×VMP; each pass streams the whole j-memory at VMP
+// cycles per j-particle (each j-particle is applied to the VMP virtual
+// pipelines in turn) plus the pipeline drain latency. The count depends
+// only on the workload shape, so the board can account cycles analytically
+// no matter how the emulation of the batch is striped across host cores.
+func (c Config) BatchCycles(ni, nj int) int64 {
+	passes := (ni + c.IBatch() - 1) / c.IBatch()
+	return int64(passes) * (int64(c.VMP)*int64(nj) + int64(c.PipelineDepth))
+}
 
 // ForceBatch evaluates the forces on the given i-particles from the chip's
 // stored j-particles, predicted to time t, with softening eps. It returns
 // one Partial per i-particle and the number of clock cycles the batch
 // occupies the chip.
 //
-// This is the allocating convenience wrapper over ForceBatchInto: it
-// builds one flat slab of partials and returns pointers into it.
+// Deprecated: this allocating pointer-returning wrapper remains for tests
+// and exploratory code; hot paths use ForceBatchInto with a reused slab.
 func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, int64) {
 	slab := make([]Partial, len(is))
 	cycles := ch.ForceBatchInto(slab, t, is, eps)
@@ -297,13 +368,33 @@ func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, 
 // allocation at all — as on the real chip, whose accumulators are
 // registers.
 //
-// Cycle model: the i-particles are served in passes of Pipelines×VMP; each
-// pass streams the whole j-memory at VMP cycles per j-particle (each
-// j-particle is applied to the VMP virtual pipelines in turn) plus the
-// pipeline drain latency.
+// Cycle model: see Config.BatchCycles.
 func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps float64) int64 {
+	return ch.ForceBatchRangeInto(dst, t, is, eps, 0, len(ch.mem))
+}
+
+// ForceBatchRangeInto evaluates the batch against only the memory slots
+// [lo, hi), the j-striping primitive for spreading one chip's force work
+// across host cores: block-floating-point accumulation is exact integer
+// addition, so per-stripe partials Merge into results bit-identical to a
+// whole-memory stream (the Section 3.4 partition-invariance property,
+// applied within a chip instead of across chips).
+//
+// Prediction of a missing time runs lazily over the WHOLE memory, which
+// is only safe single-threaded: concurrent range calls on one chip
+// require the prediction cache to already hold time t (PredictedAt), as
+// arranged by the board's predict stage. The returned cycle count covers
+// just this range; callers striping a chip account whole-chip cycles via
+// Config.BatchCycles.
+func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, eps float64, lo, hi int) int64 {
 	if len(dst) < len(is) {
 		panic(fmt.Sprintf("chip: partial slab of %d for %d i-particles", len(dst), len(is)))
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(ch.mem) {
+		hi = len(ch.mem)
 	}
 	ch.Predict(t)
 	f := ch.cfg.Format
@@ -316,19 +407,18 @@ func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps flo
 	for i := range is {
 		p := &dst[i]
 		p.Init(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
-		ch.forceOne(&is[i], p, e2, r, invPos)
+		ch.forceRange(&is[i], p, e2, r, invPos, lo, hi)
 	}
 
-	passes := (len(is) + ch.cfg.IBatch() - 1) / ch.cfg.IBatch()
-	return int64(passes) * (int64(ch.cfg.VMP)*int64(len(ch.mem)) + int64(ch.cfg.PipelineDepth))
+	return ch.cfg.BatchCycles(len(is), hi-lo)
 }
 
-// forceOne streams the j-memory against one i-particle. r and invPos are
-// the caller-hoisted mantissa rounder and fixed-point scale (invariant
-// across the whole batch; recomputing them per pair would dominate the
-// pipeline arithmetic).
-func (ch *Chip) forceOne(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64) {
-	mem, px, pv := ch.mem, ch.px, ch.pv
+// forceRange streams the memory slots [lo, hi) against one i-particle. r
+// and invPos are the caller-hoisted mantissa rounder and fixed-point scale
+// (invariant across the whole batch; recomputing them per pair would
+// dominate the pipeline arithmetic).
+func (ch *Chip) forceRange(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64, lo, hi int) {
+	mem, px, pv := ch.mem[lo:hi], ch.px[lo:hi], ch.pv[lo:hi]
 	ix, iy, iz := ip.X[0], ip.X[1], ip.X[2]
 	ivx, ivy, ivz := ip.V[0], ip.V[1], ip.V[2]
 	for k := range mem {

@@ -134,40 +134,53 @@ func EvalAllParallel(xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Forc
 // EvalAllParallelInto is EvalAllParallel writing into the caller-owned dst
 // (len(dst) must be ≥ len(xs)); it returns the filled prefix.
 func EvalAllParallelInto(dst []Force, xs, vs []vec.V3, js JSet, eps float64, selfSet bool) []Force {
-	n := len(xs)
-	out := dst[:n]
+	out := dst[:len(xs)]
+	ParallelFor(len(xs), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			skip := -1
+			if selfSet {
+				skip = i
+			}
+			out[i] = EvalSkip(xs[i], vs[i], js, eps, skip)
+		}
+	})
+	return out
+}
+
+// ParallelFor splits [0, n) into at most GOMAXPROCS contiguous chunks of at
+// least minChunk elements each and runs fn on them concurrently, returning
+// when all chunks are done. With one chunk (or GOMAXPROCS == 1) fn runs on
+// the calling goroutine — no goroutines are spawned. fn must be safe to run
+// concurrently on disjoint ranges.
+func ParallelFor(n, minChunk int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if minChunk < 1 {
+		minChunk = 1
+	}
 	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
+	if max := (n + minChunk - 1) / minChunk; workers > max {
+		workers = max
 	}
 	if workers <= 1 {
-		return EvalAllInto(out, xs, vs, js, eps, selfSet)
+		fn(0, n)
+		return
 	}
 	var wg sync.WaitGroup
 	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
+	for lo := 0; lo < n; lo += chunk {
 		hi := lo + chunk
 		if hi > n {
 			hi = n
 		}
-		if lo >= hi {
-			break
-		}
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				skip := -1
-				if selfSet {
-					skip = i
-				}
-				out[i] = EvalSkip(xs[i], vs[i], js, eps, skip)
-			}
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
 }
 
 // Interactions returns the number of pairwise interactions for ni

@@ -149,6 +149,13 @@ func (b *Backend) guessExponents(sys *nbody.System, i int) (ea, ej, ep int) {
 	return ea, ej, ep
 }
 
+// BeginPredict implements hermite.PredictAheadBackend: it starts the
+// hardware predictor pipeline for time t in the background so the
+// j-memory prediction runs concurrently with host-side work (the
+// paper's §6 host/GRAPE overlap). The next memory operation on the
+// array joins it; results are bit-identical to a synchronous predict.
+func (b *Backend) BeginPredict(t float64) { b.arr.BeginPredict(t) }
+
 // Forces implements hermite.Backend. Allocating wrapper over ForcesInto.
 func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
 	return b.ForcesInto(make([]direct.Force, len(ids)), t, ids, xi, vi, eps)
@@ -170,6 +177,10 @@ func (b *Backend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []
 		panic(fmt.Sprintf("gbackend: force buffer of %d for %d i-particles", len(dst), n))
 	}
 	out := dst[:n]
+	// Kick the hardware predictor for t now so it stripes the j-memory
+	// across the worker pool while the host stages i-particles below —
+	// the predictor/host overlap of §6. ForcesInto on the array joins it.
+	b.arr.BeginPredict(t)
 	b.isBuf = growSlice(b.isBuf, n)
 	b.ksBuf = growSlice(b.ksBuf, n)
 	is, ks := b.isBuf, b.ksBuf

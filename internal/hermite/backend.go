@@ -1,6 +1,9 @@
 package hermite
 
 import (
+	"runtime"
+	"sync"
+
 	"grape6/internal/direct"
 	"grape6/internal/nbody"
 	"grape6/internal/vec"
@@ -43,6 +46,18 @@ type ForcesIntoBackend interface {
 	ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force
 }
 
+// PredictAheadBackend is the optional host/GRAPE-overlap extension of
+// Backend (the paper's §6): BeginPredict(t) starts predicting the stored
+// j-particles to time t in the background, overlapping the predictor with
+// host-side work (block selection, correction, i-particle staging). The
+// backend joins the prefetch before any operation that needs or mutates
+// the j-memory, so results are bit-identical with or without the call.
+// The integrator calls it with the next block time right after Update.
+type PredictAheadBackend interface {
+	Backend
+	BeginPredict(t float64)
+}
+
 // jstate is the per-particle state a backend needs to run the predictor
 // pipeline, eqs. (6)-(7).
 type jstate struct {
@@ -64,13 +79,71 @@ type DirectBackend struct {
 	mass []float64
 	pos  []vec.V3
 	vel  []vec.V3
+
+	// Prefetched-prediction state (PredictAheadBackend). When predOK,
+	// pos/vel hold every particle predicted to predT. predWG is pending
+	// iff predBusy; every method that reads or writes js/pos/vel joins it
+	// first, so the background pass never races host access.
+	predT    float64
+	predOK   bool
+	predBusy bool
+	predWG   sync.WaitGroup
 }
+
+// asyncPredictMin is the j-set size below which BeginPredict stays a
+// no-op: the pass is too short to be worth a goroutine handoff.
+const asyncPredictMin = 256
 
 // NewDirectBackend returns an empty DirectBackend.
 func NewDirectBackend() *DirectBackend { return &DirectBackend{} }
 
+// joinPredict waits for a pending background predict pass, if any.
+func (b *DirectBackend) joinPredict() {
+	if b.predBusy {
+		b.predWG.Wait()
+		b.predBusy = false
+		b.predOK = true
+	}
+}
+
+// predictAll runs the predictor pass (eqs. (6)-(7) in float64) for every
+// stored j-particle, striped across the host's cores. The per-particle
+// arithmetic is pure, so striping cannot change a bit of the result.
+func (b *DirectBackend) predictAll(t float64) {
+	direct.ParallelFor(len(b.js), 512, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			dt := t - b.js[i].t0
+			b.pos[i], b.vel[i] = Predict(b.js[i].x0, b.js[i].v0, b.js[i].a0, b.js[i].j0, b.js[i].s0, dt)
+		}
+	})
+}
+
+// BeginPredict implements PredictAheadBackend: it starts the predictor
+// pass for time t on a background goroutine so it overlaps with the
+// host's corrector and block setup. ForcesInto at the same t reuses the
+// result; any other access joins first.
+func (b *DirectBackend) BeginPredict(t float64) {
+	b.joinPredict()
+	if b.predOK && b.predT == t {
+		return
+	}
+	if runtime.GOMAXPROCS(0) <= 1 || len(b.js) < asyncPredictMin {
+		return // nothing to gain; ForcesInto predicts on demand
+	}
+	b.predT = t
+	b.predOK = false
+	b.predBusy = true
+	b.predWG.Add(1)
+	go func() {
+		defer b.predWG.Done()
+		b.predictAll(t)
+	}()
+}
+
 // Load implements Backend.
 func (b *DirectBackend) Load(sys *nbody.System) {
+	b.joinPredict()
+	b.predOK = false
 	b.js = make([]jstate, sys.N)
 	for i := 0; i < sys.N; i++ {
 		b.js[i] = jstate{
@@ -93,6 +166,8 @@ func (b *DirectBackend) Load(sys *nbody.System) {
 
 // Update implements Backend.
 func (b *DirectBackend) Update(sys *nbody.System, idx []int) {
+	b.joinPredict()
+	b.predOK = false
 	for _, i := range idx {
 		b.js[i] = jstate{
 			mass: sys.Mass[i],
@@ -118,10 +193,12 @@ func (b *DirectBackend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float6
 // ForcesInto implements ForcesIntoBackend.
 func (b *DirectBackend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
 	// Predictor pass over all stored j-particles (the chip's predictor
-	// pipeline does exactly this in hardware).
-	for i := range b.js {
-		dt := t - b.js[i].t0
-		b.pos[i], b.vel[i] = Predict(b.js[i].x0, b.js[i].v0, b.js[i].a0, b.js[i].j0, b.js[i].s0, dt)
+	// pipeline does exactly this in hardware), unless a BeginPredict
+	// prefetch for this t already ran it in the background.
+	b.joinPredict()
+	if !b.predOK || b.predT != t {
+		b.predictAll(t)
+		b.predT, b.predOK = t, true
 	}
 	js := direct.JSet{Mass: b.mass, Pos: b.pos, Vel: b.vel}
 	if len(xi) >= 16 && len(b.js) >= 512 {

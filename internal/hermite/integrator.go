@@ -85,6 +85,19 @@ type Integrator struct {
 	xp    []vec.V3
 	vp    []vec.V3
 	fbuf  []direct.Force // force results, reused when the backend supports it
+
+	// pab is B when it supports predict-ahead, cached once at New.
+	pab PredictAheadBackend
+}
+
+// prefetchPredict starts the backend's j-memory prediction for the next
+// block time so it overlaps with the host work between blocks (trace
+// callbacks, block selection, i-particle prediction) — the paper's §6
+// host/GRAPE overlap. No-op for backends without predict-ahead support.
+func (it *Integrator) prefetchPredict() {
+	if it.pab != nil {
+		it.pab.BeginPredict(it.Sys.MinTime())
+	}
 }
 
 // forces evaluates block forces through the backend, using the
@@ -121,6 +134,7 @@ func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
 	}
 
 	it := &Integrator{Sys: sys, B: b, P: p, T: t0}
+	it.pab, _ = b.(PredictAheadBackend)
 	b.Load(sys)
 
 	// Full force evaluation at the common initial time.
@@ -140,6 +154,7 @@ func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
 	}
 	it.Interactions += int64(sys.N) * int64(b.NJ())
 	b.Update(sys, ids)
+	it.prefetchPredict()
 	return it, nil
 }
 
@@ -207,6 +222,7 @@ func (it *Integrator) Step() BlockStat {
 	}
 
 	it.B.Update(sys, it.block)
+	it.prefetchPredict()
 
 	it.T = t
 	it.Steps += int64(nb)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"grape6/internal/des"
+	"grape6/internal/direct"
 	"grape6/internal/hermite"
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
@@ -69,6 +70,7 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 
 	m := cfg.Machine
 	round := 0
+	var fbuf []direct.Force
 	for {
 		t := S.MinTime()
 		if t > until {
@@ -94,7 +96,7 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 				dt := t - S.Time[i]
 				xp[k], vp[k] = hermite.Predict(S.Pos[i], S.Vel[i], S.Acc[i], S.Jerk[i], S.Snap[i], dt)
 			}
-			fs := backend.Forces(t, ids, xp, vp, cfg.Params.Eps)
+			fs := evalForces(&fbuf, backend, t, ids, xp, vp, cfg.Params.Eps)
 
 			// Charge the modelled compute time: frontend work, GRAPE
 			// pipelines over the full stored system, and the DMA link.

@@ -123,6 +123,7 @@ type gridState struct {
 	rowIdx  map[int]int
 	colIdx  map[int]int
 	backend hermite.Backend // loaded with the column subset
+	fbuf    []direct.Force  // force-result buffer reused across blocks
 }
 
 // Per-round message tags.
@@ -160,7 +161,7 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 				xs[k], vs[k] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
 					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
 			}
-			fs := st.backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+			fs := evalForces(&st.fbuf, st.backend, t, ids, xs, vs, cfg.Params.Eps)
 			for k := range block {
 				partial[k] = pforce{acc: fs[k].Acc, jerk: fs[k].Jerk, pot: fs[k].Pot}
 			}

@@ -160,7 +160,7 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 				xs[q], vs[q] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
 					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
 			}
-			fs := st.backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+			fs := evalForces(&st.fbuf, st.backend, t, ids, xs, vs, cfg.Params.Eps)
 			for q := range block {
 				partial[q] = pforce{acc: fs[q].Acc, jerk: fs[q].Jerk, pot: fs[q].Pot}
 			}

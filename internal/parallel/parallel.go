@@ -164,7 +164,8 @@ func initForces(sys *nbody.System, cfg Config) error {
 	for i := range ids {
 		ids[i] = sys.ID[i]
 	}
-	fs := b.Forces(t0, ids, sys.Pos, sys.Vel, p.Eps)
+	var fbuf []direct.Force
+	fs := evalForces(&fbuf, b, t0, ids, sys.Pos, sys.Vel, p.Eps)
 	for i := 0; i < sys.N; i++ {
 		sys.Acc[i] = fs[i].Acc
 		sys.Jerk[i] = fs[i].Jerk
@@ -178,6 +179,21 @@ func initForces(sys *nbody.System, cfg Config) error {
 			hermite.InitialStep(fs[i].Acc, fs[i].Jerk, p.EtaS), p.MinStep, p.MaxStep)
 	}
 	return nil
+}
+
+// evalForces evaluates block forces through b, preferring the
+// allocation-free ForcesInto path when the backend provides it. The result
+// aliases *buf, which is grown on demand and reused across calls — callers
+// must consume it before the next evalForces call on the same buffer.
+func evalForces(buf *[]direct.Force, b hermite.Backend, t float64, ids []int, xs, vs []vec.V3, eps float64) []direct.Force {
+	fb, ok := b.(hermite.ForcesIntoBackend)
+	if !ok {
+		return b.Forces(t, ids, xs, vs, eps)
+	}
+	if cap(*buf) < len(ids) {
+		*buf = make([]direct.Force, len(ids))
+	}
+	return fb.ForcesInto((*buf)[:len(ids)], t, ids, xs, vs, eps)
 }
 
 // blockAt returns the indices of particles whose next time equals t.

@@ -113,6 +113,7 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 	m := cfg.Machine
 	next := (h + 1) % cfg.Hosts
 	round := 0
+	var fbuf []direct.Force
 	for {
 		local := math.Inf(1)
 		if S.N > 0 {
@@ -143,7 +144,7 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 				for k, pk := range held {
 					ids[k], xs[k], vs[k] = pk.id, pk.x, pk.v
 				}
-				fs := backend.Forces(t, ids, xs, vs, cfg.Params.Eps)
+				fs := evalForces(&fbuf, backend, t, ids, xs, vs, cfg.Params.Eps)
 				for k := range held {
 					held[k].acc = held[k].acc.Add(fs[k].Acc)
 					held[k].jerk = held[k].jerk.Add(fs[k].Jerk)

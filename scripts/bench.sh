@@ -1,0 +1,45 @@
+#!/bin/sh
+# bench.sh — run the steady-state perf benchmarks and record them in
+# BENCH_pr2.json so future PRs can track the trajectory.
+#
+# Usage: scripts/bench.sh [out.json]
+#
+# The tracked set covers the block-step hot path (predictor variants,
+# small-block steps, raw chip throughput) plus the Fig. 13 headline run
+# whose model Gflops double as a regression canary for the cycle model.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_pr2.json}"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test . -run '^$' \
+	-bench 'BenchmarkPredictFull$|BenchmarkPredictStriped$|BenchmarkPredictSlotPatch$|BenchmarkSmallBlockStep$|BenchmarkEmulatedChipThroughput$|BenchmarkFig13SingleNode$' \
+	-benchmem -benchtime=1s | tee "$tmp"
+
+# Parse `go test -bench` lines into JSON. Fields per line:
+#   name iters ns/op [value unit]... [B/op] [allocs/op]
+awk '
+BEGIN { printf "[\n"; first = 1 }
+/^Benchmark/ {
+	name = $1
+	sub(/-[0-9]+$/, "", name)
+	ns = ""; allocs = ""; gflops = ""
+	for (i = 3; i < NF; i++) {
+		if ($(i+1) == "ns/op") ns = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+		if ($(i+1) ~ /^Gflops/) gflops = $i
+	}
+	if (ns == "") next
+	if (!first) printf ",\n"
+	first = 0
+	printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	if (gflops != "") printf ", \"model_gflops\": %s", gflops
+	printf "}"
+}
+END { printf "\n]\n" }
+' "$tmp" > "$out"
+
+echo "bench: wrote $out"

@@ -24,7 +24,7 @@ fi
 if [ "$tier" = 2 ] || [ "$tier" = all ]; then
 	echo "== tier 2: vet + race =="
 	go vet ./...
-	go test -race ./internal/board/... ./internal/parallel/...
+	go test -race ./internal/board/... ./internal/chip/... ./internal/gbackend/... ./internal/hermite/... ./internal/parallel/...
 fi
 
 echo "verify: OK ($tier)"
