@@ -243,9 +243,10 @@ func BenchmarkEmulatedChipThroughput(b *testing.B) {
 		x, v := chip.PredictParticle(f, &js[k], 0)
 		is[k] = chip.IParticle{X: x, V: v, SelfID: k, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
 	}
+	dst := make([]chip.Partial, len(is))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ch.ForceBatch(0, is, 1.0/64)
+		ch.ForceBatchInto(dst, 0, is, 1.0/64)
 	}
 	b.ReportMetric(float64(48*sys.N*b.N)/b.Elapsed().Seconds(), "pairs/s")
 }

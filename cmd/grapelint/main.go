@@ -1,0 +1,114 @@
+// Command grapelint runs the repo's static-analysis suite: noalloc,
+// deterministic, nodeprecated, gfixedboundary, goroutinejoin (see
+// DESIGN.md §7 "Static guarantees"). It type-checks the whole module
+// with the standard library only, then filters packages by the given
+// patterns:
+//
+//	grapelint ./...                  # everything (the verify.sh tier-3 call)
+//	grapelint ./internal/chip        # one package
+//	grapelint grape6/internal/...    # import-path prefix
+//
+// Exit status: 0 clean, 1 findings, 2 load/usage error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"grape6/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: grapelint [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, az := range analysis.All() {
+			fmt.Printf("%-16s %s\n", az.Name, az.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var sel []*analysis.Package
+	for _, p := range pkgs {
+		for _, pat := range patterns {
+			if matches(p, pat, cwd) {
+				sel = append(sel, p)
+				break
+			}
+		}
+	}
+	if len(sel) == 0 {
+		fatal(fmt.Errorf("no packages match %v", patterns))
+	}
+
+	findings := analysis.Run(sel, analysis.All())
+	for _, f := range findings {
+		pos := f.Pos
+		if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			pos.Filename = rel
+		}
+		fmt.Printf("%s: %s: %s\n", pos, f.Analyzer, f.Message)
+	}
+	if n := len(findings); n > 0 {
+		fmt.Fprintf(os.Stderr, "grapelint: %d finding(s)\n", n)
+		os.Exit(1)
+	}
+}
+
+// matches implements the two pattern families: filesystem-relative
+// ("./x", "./x/...", "./...") against the package directory, and
+// import-path ("grape6/internal/chip", "grape6/...") against the path.
+func matches(p *analysis.Package, pat, cwd string) bool {
+	if pat == "." || strings.HasPrefix(pat, "./") {
+		rest := strings.TrimPrefix(strings.TrimPrefix(pat, "."), "/")
+		recursive := false
+		if rest == "..." {
+			recursive, rest = true, ""
+		} else if strings.HasSuffix(rest, "/...") {
+			recursive, rest = true, strings.TrimSuffix(rest, "/...")
+		}
+		dir := cwd
+		if rest != "" {
+			dir = filepath.Join(cwd, filepath.FromSlash(rest))
+		}
+		if recursive {
+			return p.Dir == dir || strings.HasPrefix(p.Dir, dir+string(filepath.Separator))
+		}
+		return p.Dir == dir
+	}
+	if strings.HasSuffix(pat, "/...") {
+		prefix := strings.TrimSuffix(pat, "/...")
+		return p.Path == prefix || strings.HasPrefix(p.Path, prefix+"/")
+	}
+	return p.Path == pat
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "grapelint: %v\n", err)
+	os.Exit(2)
+}

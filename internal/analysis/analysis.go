@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// A Finding is one analyzer diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// An Analyzer is one named check over a single package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// A Pass carries one (analyzer, package) run. Analyzers report through
+// Reportf; suppression via //grapelint:ignore happens in the driver.
+type Pass struct {
+	Analyzer   *Analyzer
+	Pkg        *Package
+	Fset       *token.FileSet
+	Info       *types.Info
+	Deprecated map[types.Object]bool // module-wide // Deprecated: symbols
+	findings   *[]Finding
+}
+
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.findings = append(*p.findings, Finding{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer in the suite, in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		NoAlloc, Deterministic, NoDeprecated, GfixedBoundary, GoroutineJoin,
+	}
+}
+
+const (
+	noallocDirective = "//grape:noalloc"
+	ignoreDirective  = "//grapelint:ignore"
+)
+
+// ignoreEntry is one parsed //grapelint:ignore <analyzer> <reason>.
+type ignoreEntry struct {
+	analyzer string
+	line     int // line the directive appears on
+}
+
+// ignoreIndex maps file name → suppressions, and collects malformed
+// directives as findings of the pseudo-analyzer "grapelint".
+func ignoreIndex(pkg *Package) (map[string][]ignoreEntry, []Finding) {
+	idx := make(map[string][]ignoreEntry)
+	var bad []Finding
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignoreDirective)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Pos:      pos,
+						Analyzer: "grapelint",
+						Message:  "malformed ignore directive: want //grapelint:ignore <analyzer> <reason>",
+					})
+					continue
+				}
+				idx[pos.Filename] = append(idx[pos.Filename], ignoreEntry{
+					analyzer: fields[0],
+					line:     pos.Line,
+				})
+			}
+		}
+	}
+	return idx, bad
+}
+
+// suppressed reports whether a finding is covered by an ignore directive
+// on the same line or the line directly above it.
+func suppressed(f Finding, idx map[string][]ignoreEntry) bool {
+	for _, e := range idx[f.Pos.Filename] {
+		if e.analyzer != f.Analyzer && e.analyzer != "all" {
+			continue
+		}
+		if e.line == f.Pos.Line || e.line == f.Pos.Line-1 {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the doc comment contains the given
+// standalone directive line.
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
+}
+
+// isDeprecatedDoc reports whether a doc comment carries the standard
+// "Deprecated:" marker.
+func isDeprecatedDoc(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimPrefix(text, "/*")
+		if strings.HasPrefix(strings.TrimSpace(text), "Deprecated:") {
+			return true
+		}
+	}
+	return false
+}
+
+// deprecatedIndex collects every object in the module whose declaration
+// is marked "Deprecated:". Uses of these objects are flagged by the
+// nodeprecated analyzer in whichever package they occur.
+func deprecatedIndex(pkgs []*Package) map[types.Object]bool {
+	dep := make(map[types.Object]bool)
+	mark := func(pkg *Package, id *ast.Ident) {
+		if obj := pkg.Info.Defs[id]; obj != nil {
+			dep[obj] = true
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					if isDeprecatedDoc(d.Doc) {
+						mark(pkg, d.Name)
+					}
+				case *ast.GenDecl:
+					whole := isDeprecatedDoc(d.Doc)
+					for _, spec := range d.Specs {
+						switch s := spec.(type) {
+						case *ast.TypeSpec:
+							if whole || isDeprecatedDoc(s.Doc) {
+								mark(pkg, s.Name)
+							}
+						case *ast.ValueSpec:
+							if whole || isDeprecatedDoc(s.Doc) {
+								for _, n := range s.Names {
+									mark(pkg, n)
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return dep
+}
+
+// Run executes the analyzers over the packages, applies ignore
+// directives, and returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	dep := deprecatedIndex(pkgs)
+	var out []Finding
+	for _, pkg := range pkgs {
+		idx, bad := ignoreIndex(pkg)
+		out = append(out, bad...)
+		var raw []Finding
+		for _, az := range analyzers {
+			pass := &Pass{
+				Analyzer:   az,
+				Pkg:        pkg,
+				Fset:       pkg.Fset,
+				Info:       pkg.Info,
+				Deprecated: dep,
+				findings:   &raw,
+			}
+			az.Run(pass)
+		}
+		for _, f := range raw {
+			if !suppressed(f, idx) {
+				out = append(out, f)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return out
+}
+
+// pathHasSuffix reports whether the import path is exactly suffix or
+// ends in "/"+suffix — used for path-scoped analyzers so fixtures under
+// fake paths like "grape6/internal/chip" behave like the real package.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// isPkgIdent reports whether expr is an identifier naming an import of
+// the given package path (e.g. the "math" in math.Float64bits).
+func isPkgIdent(info *types.Info, expr ast.Expr, path string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == path
+}
+
+// builtinName returns the name of the builtin that fun resolves to, or
+// "" if fun is not a builtin.
+func builtinName(info *types.Info, fun ast.Expr) string {
+	id, ok := ast.Unparen(fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if b, ok := info.Uses[id].(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}

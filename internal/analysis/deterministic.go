@@ -1,0 +1,180 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// bitExactSuffixes are the packages whose outputs are locked by golden
+// hashes (board/golden_test.go): any run-to-run nondeterminism there is a bug
+// even if every test still passes on one machine.
+var bitExactSuffixes = []string{
+	"internal/gfixed",
+	"internal/chip",
+	"internal/board",
+	"internal/gbackend",
+}
+
+func isBitExactPath(path string) bool {
+	for _, s := range bitExactSuffixes {
+		if pathHasSuffix(path, s) {
+			return true
+		}
+	}
+	return false
+}
+
+// Deterministic forbids the three classic sources of run-to-run drift
+// in the bit-exact packages: math/rand (global seed state — use
+// internal/xrand's explicit streams), time.Now, and floating-point /
+// accumulator updates inside `range` over a map (iteration order is
+// randomized, and block-float accumulation is order-sensitive by
+// design — that is what partition invariance is about).
+var Deterministic = &Analyzer{
+	Name: "deterministic",
+	Doc:  "forbid nondeterministic constructs in bit-exact packages",
+	Run:  runDeterministic,
+}
+
+func runDeterministic(p *Pass) {
+	if !isBitExactPath(p.Pkg.Path) {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "import of %s in bit-exact package: use internal/xrand for seeded, reproducible streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if sel, ok := n.Fun.(*ast.SelectorExpr); ok &&
+					isPkgIdent(p.Info, sel.X, "time") && sel.Sel.Name == "Now" {
+					p.Reportf(n.Pos(), "time.Now in bit-exact package: results must not depend on wall-clock time")
+				}
+			case *ast.RangeStmt:
+				checkMapRangeAccum(p, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkMapRangeAccum flags order-sensitive accumulation into state
+// declared outside a range-over-map body.
+func checkMapRangeAccum(p *Pass, rs *ast.RangeStmt) {
+	if rs.X == nil {
+		return
+	}
+	tv, ok := p.Info.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ASSIGN, token.DEFINE:
+				for i := range n.Lhs {
+					if i < len(n.Rhs) && selfReferential(n.Lhs[i], n.Rhs[i]) &&
+						isFloatExpr(p, n.Lhs[i]) && declaredOutside(p, n.Lhs[i], rs) {
+						p.Reportf(n.Pos(), "float accumulation over map iteration order (assignment to %s)", types.ExprString(n.Lhs[i]))
+					}
+				}
+			default: // +=, -=, *=, ...
+				for _, lhs := range n.Lhs {
+					if isFloatExpr(p, lhs) && declaredOutside(p, lhs, rs) {
+						p.Reportf(n.Pos(), "float accumulation over map iteration order (%s %s)", types.ExprString(lhs), n.Tok)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			// Accum.Add / Partial.Merge-style accumulation: a method named
+			// Add/Merge on a receiver declared in a bit-exact package.
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Merge") {
+				return true
+			}
+			s := p.Info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal {
+				return true
+			}
+			if recvFromBitExact(s.Recv()) && declaredOutside(p, sel.X, rs) {
+				p.Reportf(n.Pos(), "accumulator %s.%s inside range over map: iteration order changes the rounding sequence", types.ExprString(sel.X), sel.Sel.Name)
+			}
+		}
+		return true
+	})
+}
+
+// selfReferential reports whether rhs mentions lhs textually — the
+// `sum = sum + x` accumulation shape.
+func selfReferential(lhs, rhs ast.Expr) bool {
+	want := types.ExprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && types.ExprString(e) == want {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// declaredOutside reports whether the base variable of e is declared
+// outside the range statement (so a per-iteration update accumulates
+// across iterations).
+func declaredOutside(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			obj := p.Info.Uses[x]
+			if obj == nil {
+				obj = p.Info.Defs[x]
+			}
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return false
+			}
+			return v.Pos() < rs.Pos() || v.Pos() > rs.End()
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return false
+		}
+	}
+}
+
+func recvFromBitExact(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return false
+	}
+	return isBitExactPath(n.Obj().Pkg().Path())
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import "testing"
+
+// TestLoadModuleTypeChecksCleanly is the machinery smoke test: the
+// loader must type-check the entire module, including this package.
+// It deliberately does NOT assert zero analyzer findings — repo-wide
+// enforcement is cmd/grapelint's job (verify.sh tier 3), so a seeded
+// violation fails the gauntlet there rather than tier 1.
+func TestLoadModuleTypeChecksCleanly(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type check skipped in -short mode")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Errorf("loaded %d packages, expected the whole module", len(pkgs))
+	}
+	seen := make(map[string]bool)
+	for _, p := range pkgs {
+		seen[p.Path] = true
+	}
+	for _, want := range []string{
+		"grape6",
+		"grape6/internal/gfixed",
+		"grape6/internal/chip",
+		"grape6/internal/board",
+		"grape6/cmd/grapelint",
+	} {
+		if !seen[want] {
+			t.Errorf("module load missed %s", want)
+		}
+	}
+}

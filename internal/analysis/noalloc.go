@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// NoAlloc enforces the //grape:noalloc contract: annotated functions
+// (force kernels, predictor, accumulator primitives, board pool stages)
+// must not contain constructs that allocate on the steady-state path.
+// The check is intraprocedural and syntactic over typed ASTs; escape
+// analysis is deliberately not modeled — a construct the compiler might
+// prove non-escaping is still flagged, because the hot path should not
+// depend on optimizer behavior.
+var NoAlloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "forbid allocating constructs in //grape:noalloc functions",
+	Run:  runNoAlloc,
+}
+
+func runNoAlloc(p *Pass) {
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hasDirective(fd.Doc, noallocDirective) {
+				continue
+			}
+			checkNoAlloc(p, fd)
+		}
+	}
+}
+
+func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+	// First pass: append calls of the reuse form x = append(x, ...) grow
+	// a caller-owned buffer and are allowed (amortized, steady-state
+	// alloc-free once warm).
+	reused := make(map[*ast.CallExpr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Rhs {
+			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
+			if ok && builtinName(p.Info, call.Fun) == "append" && len(call.Args) > 0 &&
+				types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
+				reused[call] = true
+			}
+		}
+		return true
+	})
+
+	name := fd.Name.Name
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkNoAllocCall(p, name, n, reused)
+		case *ast.CompositeLit:
+			switch p.Info.Types[n].Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in noalloc function %s", name)
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in noalloc function %s", name)
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					p.Reportf(n.Pos(), "pointer to composite literal escapes in noalloc function %s", name)
+				}
+			}
+		case *ast.FuncLit:
+			if capt := capturedVar(p, fd, n); capt != "" {
+				p.Reportf(n.Pos(), "closure captures %s by reference in noalloc function %s", capt, name)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD {
+				tv := p.Info.Types[n]
+				if tv.Value == nil && isStringType(tv.Type) {
+					p.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", name)
+				}
+			}
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "go statement allocates a goroutine in noalloc function %s", name)
+		}
+		return true
+	})
+}
+
+func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, reused map[*ast.CallExpr]bool) {
+	switch bn := builtinName(p.Info, call.Fun); bn {
+	case "make", "new":
+		p.Reportf(call.Pos(), "%s allocates in noalloc function %s", bn, name)
+		return
+	case "append":
+		if reused[call] {
+			return
+		}
+		if len(call.Args) > 0 {
+			// append(buf[:0], ...) refills a reused buffer in place.
+			if _, ok := ast.Unparen(call.Args[0]).(*ast.SliceExpr); ok {
+				return
+			}
+		}
+		p.Reportf(call.Pos(), "append to non-reused slice allocates in noalloc function %s", name)
+		return
+	case "panic":
+		// panic is a cold path but its argument still boxes eagerly.
+		if len(call.Args) == 1 {
+			checkBoxing(p, name, call.Args[0])
+		}
+		return
+	case "":
+		// not a builtin; fall through
+	default:
+		return // len, cap, copy, min, max, ... are alloc-free
+	}
+
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		checkNoAllocConversion(p, name, call, tv.Type)
+		return
+	}
+	sig, ok := p.Info.Types[call.Fun].Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // foo(xs...) passes the slice itself
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) {
+			checkBoxing(p, name, arg)
+		}
+	}
+}
+
+func checkNoAllocConversion(p *Pass, name string, call *ast.CallExpr, target types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	arg := call.Args[0]
+	if types.IsInterface(target) {
+		checkBoxing(p, name, arg)
+		return
+	}
+	at := p.Info.Types[arg].Type
+	if at == nil {
+		return
+	}
+	if isStringType(target) && isByteOrRuneSlice(at) ||
+		isByteOrRuneSlice(target) && isStringType(at) && p.Info.Types[arg].Value == nil {
+		p.Reportf(call.Pos(), "string conversion allocates in noalloc function %s", name)
+	}
+}
+
+// checkBoxing flags arg if storing it in an interface allocates:
+// constants, nil, interfaces, and pointer-shaped values are exempt.
+func checkBoxing(p *Pass, name string, arg ast.Expr) {
+	tv := p.Info.Types[arg]
+	if tv.Value != nil || tv.IsNil() || tv.Type == nil {
+		return
+	}
+	if types.IsInterface(tv.Type) || isPointerShaped(tv.Type) {
+		return
+	}
+	p.Reportf(arg.Pos(), "interface boxing of %s allocates in noalloc function %s",
+		types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)), name)
+}
+
+// capturedVar returns the name of a variable the func literal captures
+// from the enclosing function, or "" if it captures nothing (a
+// capture-free literal compiles to a static func value — no alloc).
+func capturedVar(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+	var name string
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= lit.Pos() && pos <= lit.End() {
+			return true // declared inside the literal
+		}
+		if pos >= fd.Pos() && pos <= fd.End() {
+			name = id.Name
+		}
+		return true
+	})
+	return name
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+// isPointerShaped reports whether values of t fit in a pointer word and
+// therefore do not allocate when stored in an interface.
+func isPointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}

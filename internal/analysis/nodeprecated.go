@@ -1,0 +1,20 @@
+package analysis
+
+// NoDeprecated flags every internal use of a symbol whose declaration
+// carries the standard "// Deprecated:" marker. The repo's policy is
+// that deprecated shims exist only for one release while callers
+// migrate; this analyzer keeps new code off them so they can actually
+// be deleted (the ForceBatch/Forces wrappers were retired this way).
+var NoDeprecated = &Analyzer{
+	Name: "nodeprecated",
+	Doc:  "forbid internal calls to // Deprecated: symbols",
+	Run:  runNoDeprecated,
+}
+
+func runNoDeprecated(p *Pass) {
+	for id, obj := range p.Info.Uses {
+		if p.Deprecated[obj] {
+			p.Reportf(id.Pos(), "use of deprecated symbol %s", obj.Name())
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Fixture for the gfixedboundary analyzer. Type-checked under the fake
+// path "grape6/internal/hermite" — i.e. outside internal/gfixed.
+package hermite
+
+import "math"
+
+// Format mirrors the gfixed.Format knobs.
+type Format struct {
+	PosFrac   uint
+	AccumFrac uint
+	MantBits  uint
+}
+
+func RawBits(x float64) uint64 {
+	return math.Float64bits(x) // want "math.Float64bits outside internal/gfixed"
+}
+
+func FromRaw(b uint64) float64 {
+	return math.Float64frombits(b) // want "math.Float64frombits outside internal/gfixed"
+}
+
+func Scale(f Format) float64 {
+	return 1 / float64(uint64(1)<<f.PosFrac) // want "manual shift by PosFrac"
+}
+
+func MantMask(f Format) uint64 {
+	return ^uint64(0) >> (64 - f.MantBits) // want "manual shift by MantBits"
+}
+
+// Half is clean: shifts by plain integers are unrestricted.
+func Half(x uint64) uint64 { return x >> 1 }
+
+// Mag is clean: the rest of package math is unrestricted.
+func Mag(x float64) float64 { return math.Abs(x) }

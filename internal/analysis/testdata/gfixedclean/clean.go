@@ -1,0 +1,18 @@
+// Fixture proving the gfixedboundary exemption: under the import path
+// "grape6/internal/gfixed" the raw conversions and format-field shifts
+// are the whole point and produce no findings.
+package gfixed
+
+import "math"
+
+// FloatBits is the sanctioned boundary crossing.
+func FloatBits(x float64) uint64 { return math.Float64bits(x) }
+
+// FloatFromBits is its inverse.
+func FloatFromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// Format carries the fixed-point scale.
+type Format struct{ PosFrac uint }
+
+// PosResolution is exactly 2^-PosFrac.
+func (f Format) PosResolution() float64 { return 1 / float64(uint64(1)<<f.PosFrac) }

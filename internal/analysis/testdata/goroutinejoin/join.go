@@ -1,0 +1,42 @@
+// Fixture for the goroutinejoin analyzer. Type-checked under the fake
+// path "grape6/internal/board" so the concurrency scoping applies.
+package board
+
+import "sync"
+
+type worker struct{ jobs chan int }
+
+func (w *worker) run() {
+	for range w.jobs {
+	}
+}
+
+// pool is clean: the workers' channel is made in the same function, so
+// the join mechanism is visible.
+func pool(n int) []*worker {
+	ws := make([]*worker, n)
+	ch := make(chan int)
+	for i := range ws {
+		w := &worker{jobs: ch}
+		ws[i] = w
+		go w.run()
+	}
+	return ws
+}
+
+// fanOut is clean: WaitGroup join in the same function.
+func fanOut(xs []float64, f func(int)) {
+	var wg sync.WaitGroup
+	for i := range xs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func fireAndForget(f func()) {
+	go f() // want "go statement in fireAndForget without a join mechanism"
+}

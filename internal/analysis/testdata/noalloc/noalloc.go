@@ -1,0 +1,55 @@
+// Fixture for the noalloc analyzer: one annotated function per
+// violation class, plus clean cases exercising the allowed idioms.
+package noallocsrc
+
+type point struct{ x, y float64 }
+
+var sink any
+
+func consume(v any) { sink = v }
+
+// fill uses the two allowed append idioms: growing the destination in
+// place and refilling a resliced buffer.
+//
+//grape:noalloc
+func fill(buf, xs []float64) []float64 {
+	buf = append(buf, xs...)
+	buf = append(buf[:0], xs...)
+	return buf
+}
+
+// accumulate is clean: pointer args, arithmetic, and constant panics
+// never allocate.
+//
+//grape:noalloc
+func accumulate(dst *point, xs []point) {
+	for i := range xs {
+		dst.x += xs[i].x
+	}
+	if len(xs) == 0 {
+		panic("noallocsrc: empty input")
+	}
+}
+
+//grape:noalloc
+func alloc(n int, xs []float64) {
+	buf := make([]float64, n) // want "make allocates"
+	q := new(point)           // want "new allocates"
+	grown := append(xs, 1)    // want "append to non-reused slice"
+	lit := []float64{1, 2}    // want "slice literal allocates"
+	table := map[int]int{}    // want "map literal allocates"
+	escaped := &point{x: 1}   // want "pointer to composite literal"
+	consume(n)                // want "interface boxing of int"
+	f := func() float64 { return xs[0] } // want "closure captures xs"
+	_, _, _, _, _, _, _ = buf, q, grown, lit, table, escaped, f
+}
+
+//grape:noalloc
+func concat(a, b string) string {
+	return a + b // want "string concatenation allocates"
+}
+
+// free is unannotated: the same constructs are fine here.
+func free(n int) []float64 {
+	return append(make([]float64, 0, n), 1)
+}

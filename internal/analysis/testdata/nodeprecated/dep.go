@@ -1,0 +1,22 @@
+// Fixture for the nodeprecated analyzer.
+package dep
+
+// OldForces is the legacy allocating entry point.
+//
+// Deprecated: use NewForces instead.
+func OldForces() int { return 1 }
+
+// NewForces is the replacement.
+func NewForces() int { return 2 }
+
+// Deprecated: legacy tuning constant, superseded by Depth.
+const LegacyDepth = 6
+
+// Depth is the current pipeline depth.
+const Depth = 9
+
+func caller() int {
+	n := OldForces() // want "use of deprecated symbol OldForces"
+	n += LegacyDepth // want "use of deprecated symbol LegacyDepth"
+	return n + NewForces() + Depth
+}

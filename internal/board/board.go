@@ -285,6 +285,11 @@ func (w *forceWorker) run() {
 	}
 }
 
+// doForce is the worker half of the striped force stage. It must stay
+// allocation-free in steady state: the merged/scratch slabs only grow, and
+// everything else is span claiming and exact merges.
+//
+//grape:noalloc
 func (w *forceWorker) doForce(c *forceCall) {
 	n := len(c.is)
 	w.merged = growPartials(w.merged, n)
@@ -313,6 +318,10 @@ func (w *forceWorker) doForce(c *forceCall) {
 	}
 }
 
+// doPredict is the worker half of the striped predict stage; like doForce
+// it runs between every block step and must not allocate.
+//
+//grape:noalloc
 func (w *forceWorker) doPredict(c *predictCall) {
 	for {
 		u := int(atomic.AddInt64(&c.next, 1)) - 1
@@ -429,23 +438,6 @@ func (a *Array) joinPredict() {
 	for _, ch := range a.chips {
 		ch.MarkPredicted(a.pc.t)
 	}
-}
-
-// Forces evaluates forces on the i-particles from all loaded j-particles
-// predicted to time t. It returns the merged partial results (one per
-// i-particle, bit-identical to a single-chip evaluation) and the number of
-// hardware clock cycles the attachment is busy.
-//
-// Deprecated: this allocating pointer-returning wrapper remains for tests
-// and exploratory code; hot paths use ForcesInto with a reused slab.
-func (a *Array) Forces(t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
-	slab := make([]chip.Partial, len(is))
-	cycles := a.ForcesInto(slab, t, is, eps)
-	out := make([]*chip.Partial, len(is))
-	for i := range slab {
-		out[i] = &slab[i]
-	}
-	return out, cycles
 }
 
 // ForcesInto is the allocation-free force path: the merged results are

@@ -69,6 +69,29 @@ func TestNewPanicsOnInvalid(t *testing.T) {
 	New(Config{})
 }
 
+// forces is the tests' allocating convenience wrapper over ForcesInto
+// (the retired Array.Forces shape): fresh slab, pointer views into it.
+func forces(a *Array, t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
+	slab := make([]chip.Partial, len(is))
+	cycles := a.ForcesInto(slab, t, is, eps)
+	out := make([]*chip.Partial, len(is))
+	for i := range slab {
+		out[i] = &slab[i]
+	}
+	return out, cycles
+}
+
+// chipForceBatch is the same convenience shape over chip.ForceBatchInto.
+func chipForceBatch(ch *chip.Chip, t float64, is []chip.IParticle, eps float64) ([]*chip.Partial, int64) {
+	slab := make([]chip.Partial, len(is))
+	cycles := ch.ForceBatchInto(slab, t, is, eps)
+	out := make([]*chip.Partial, len(is))
+	for i := range slab {
+		out[i] = &slab[i]
+	}
+	return out, cycles
+}
+
 // smallConfig keeps emulation cheap for functional tests.
 func smallConfig() Config {
 	c := Default
@@ -121,14 +144,14 @@ func TestArrayMatchesSingleChip(t *testing.T) {
 
 	a := New(smallConfig())
 	js, is := loadPlummer(t, a, n, 2)
-	got, _ := a.Forces(0, is[:8], eps)
+	got, _ := forces(a, 0, is[:8], eps)
 
 	cfg := smallConfig().Chip
 	single := chip.New(cfg)
 	if err := single.LoadJ(js); err != nil {
 		t.Fatal(err)
 	}
-	want, _ := single.ForceBatch(0, is[:8], eps)
+	want, _ := chipForceBatch(single, 0, is[:8], eps)
 
 	for i := range got {
 		for c := 0; c < 3; c++ {
@@ -158,13 +181,13 @@ func TestDifferentBoardCountsBitIdentical(t *testing.T) {
 	c1.Boards = 1
 	a1 := New(c1)
 	_, is := loadPlummer(t, a1, n, 3)
-	r1, _ := a1.Forces(0, is[:4], eps)
+	r1, _ := forces(a1, 0, is[:4], eps)
 
 	c4 := smallConfig()
 	c4.Boards = 4
 	a4 := New(c4)
 	loadPlummer(t, a4, n, 3)
-	r4, _ := a4.Forces(0, is[:4], eps)
+	r4, _ := forces(a4, 0, is[:4], eps)
 
 	for i := range r1 {
 		if r1[i].Acc[0].Sum != r4[i].Acc[0].Sum || r1[i].Pot.Sum != r4[i].Pot.Sum {
@@ -194,7 +217,7 @@ func TestUpdateJ(t *testing.T) {
 func TestUpdateJChangesForce(t *testing.T) {
 	a := New(smallConfig())
 	js, is := loadPlummer(t, a, 16, 5)
-	before, _ := a.Forces(0, is[:1], 1.0/64)
+	before, _ := forces(a, 0, is[:1], 1.0/64)
 	accBefore := before[0].Acc[0].Sum
 
 	// Move particle 3 far away; the force must change.
@@ -206,7 +229,7 @@ func TestUpdateJChangesForce(t *testing.T) {
 	if err := a.UpdateJ(moved); err != nil {
 		t.Fatal(err)
 	}
-	after, _ := a.Forces(0, is[:1], 1.0/64)
+	after, _ := forces(a, 0, is[:1], 1.0/64)
 	if after[0].Acc[0].Sum == accBefore {
 		t.Error("force unchanged after moving a j-particle")
 	}
@@ -216,7 +239,7 @@ func TestCycleModel(t *testing.T) {
 	cfg := smallConfig()
 	a := New(cfg)
 	loadPlummer(t, a, 80, 6) // 10 per chip
-	_, cycles := a.Forces(0, make([]chip.IParticle, 1), 0.1)
+	_, cycles := forces(a, 0, make([]chip.IParticle, 1), 0.1)
 	// One pass: 8 × 10 + depth, plus reduction stages:
 	// log2(2)+log2(2)+log2(2) = 3 stages.
 	want := int64(8*10+cfg.Chip.PipelineDepth) + 3*int64(cfg.ReduceCyclesPerStage)
@@ -251,9 +274,9 @@ func TestForcesParallelPathMatchesSerial(t *testing.T) {
 	_, is := loadPlummer(t, a, 512, 7)
 	eps := 1.0 / 64
 	// Serial (1 i-particle → below threshold).
-	serial, _ := a.Forces(0, is[:1], eps)
+	serial, _ := forces(a, 0, is[:1], eps)
 	// Parallel (many i-particles → above threshold).
-	parallel, _ := a.Forces(0, is[:64], eps)
+	parallel, _ := forces(a, 0, is[:64], eps)
 	if serial[0].Acc[0].Sum != parallel[0].Acc[0].Sum {
 		t.Error("parallel chip fan-out changed result bits")
 	}
@@ -263,7 +286,7 @@ func TestExponentsPreserved(t *testing.T) {
 	a := New(smallConfig())
 	_, is := loadPlummer(t, a, 16, 8)
 	is[0].ExpAcc, is[0].ExpJerk, is[0].ExpPot = 10, 11, 12
-	out, _ := a.Forces(0, is[:1], 1.0/64)
+	out, _ := forces(a, 0, is[:1], 1.0/64)
 	if out[0].Acc[0].Exp != 10 || out[0].Jerk[0].Exp != 11 || out[0].Pot.Exp != 12 {
 		t.Errorf("exponents not preserved: %d %d %d",
 			out[0].Acc[0].Exp, out[0].Jerk[0].Exp, out[0].Pot.Exp)
@@ -277,6 +300,6 @@ func BenchmarkArrayForces128(b *testing.B) {
 	_, is := loadPlummer(b, a, 1024, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		a.Forces(0, is[:48], 1.0/64)
+		forces(a, 0, is[:48], 1.0/64)
 	}
 }

@@ -46,7 +46,7 @@ func goldenWorkloadHash(t *testing.T, forces func(a *Array, is []chip.IParticle)
 
 func TestGoldenBitIdentityVsSeedKernel(t *testing.T) {
 	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
-		out, _ := a.Forces(0.015625, is, 1.0/64)
+		out, _ := forces(a, 0.015625, is, 1.0/64)
 		return out
 	})
 	if got != seedKernelHash {
@@ -63,7 +63,7 @@ func TestGoldenBitIdentityWorkerPool(t *testing.T) {
 	// even on single-CPU hosts.
 	forceParallel(t)
 	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
-		out, _ := a.Forces(0.015625, is, 1.0/64)
+		out, _ := forces(a, 0.015625, is, 1.0/64)
 		if len(a.workers) == 0 {
 			t.Fatal("worker pool did not engage for the golden workload")
 		}

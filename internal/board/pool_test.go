@@ -21,16 +21,16 @@ func TestWorkerPoolPersistsAcrossCalls(t *testing.T) {
 	_, is := loadPlummer(t, a, 512, 7)
 
 	// First large call spawns the pool.
-	r1, _ := a.Forces(0, is[:64], 1.0/64)
+	r1, _ := forces(a, 0, is[:64], 1.0/64)
 	workers := a.workers
 	if len(workers) == 0 {
 		t.Fatal("no worker pool after a large Forces call")
 	}
 
 	// Further calls — larger, smaller, and tiny (serial path) — reuse it.
-	a.Forces(0, is[:128], 1.0/64)
-	a.Forces(0, is[:16], 1.0/64)
-	r2, _ := a.Forces(0, is[:64], 1.0/64)
+	forces(a, 0, is[:128], 1.0/64)
+	forces(a, 0, is[:16], 1.0/64)
+	r2, _ := forces(a, 0, is[:64], 1.0/64)
 	if len(a.workers) != len(workers) {
 		t.Errorf("pool respawned: %d workers, then %d", len(workers), len(a.workers))
 	}
@@ -51,7 +51,7 @@ func TestCloseIsIdempotentAndRespawns(t *testing.T) {
 	a := New(smallConfig())
 	_, is := loadPlummer(t, a, 512, 9)
 
-	before, _ := a.Forces(0, is[:64], 1.0/64)
+	before, _ := forces(a, 0, is[:64], 1.0/64)
 	a.Close()
 	a.Close() // double close must not panic
 	if a.workers != nil {
@@ -59,7 +59,7 @@ func TestCloseIsIdempotentAndRespawns(t *testing.T) {
 	}
 
 	// A closed Array keeps working: the pool respawns lazily.
-	after, _ := a.Forces(0, is[:64], 1.0/64)
+	after, _ := forces(a, 0, is[:64], 1.0/64)
 	for i := range before {
 		if before[i].Acc[0].Sum != after[i].Acc[0].Sum {
 			t.Fatalf("i=%d: results differ after Close/respawn", i)

@@ -111,6 +111,8 @@ type Partial struct {
 // Init resets a partial result in place: zeroed accumulators with the
 // given block exponents, no nearest neighbour. Reusing a slab of partials
 // via Init is the allocation-free path.
+//
+//grape:noalloc
 func (p *Partial) Init(f gfixed.Format, expAcc, expJerk, expPot int) {
 	for c := 0; c < 3; c++ {
 		p.Acc[c].Init(f, expAcc)
@@ -132,6 +134,8 @@ func NewPartial(f gfixed.Format, expAcc, expJerk, expPot int) *Partial {
 // this is the FPGA adder of Section 3.4). Nearest-neighbour candidates are
 // compared by distance with ties broken toward the smaller id, which keeps
 // the merge deterministic regardless of tree shape.
+//
+//grape:noalloc
 func (p *Partial) Merge(q *Partial) {
 	for c := 0; c < 3; c++ {
 		p.Acc[c].Merge(&q.Acc[c])
@@ -241,6 +245,8 @@ func PredictParticle(f gfixed.Format, j *JParticle, t float64) (x [3]gfixed.Fixe
 // so batch callers (PredictRange) pay the mask setup once per stripe
 // instead of once per operation. Rounder.Round is bit-identical to
 // Format.Round (gfixed's differential tests), so results are unchanged.
+//
+//grape:noalloc
 func predictParticle(f gfixed.Format, r gfixed.Rounder, j *JParticle, t float64) (x [3]gfixed.Fixed64, v [3]float64) {
 	dt := r.Round(t - j.T0)
 	if dt == 0 {
@@ -289,6 +295,8 @@ func predictParticle(f gfixed.Format, r gfixed.Rounder, j *JParticle, t float64)
 // memory have completed, the coordinator calls MarkPredicted(t). Results
 // are bit-identical to a serial Predict(t) because each slot's prediction
 // depends only on (particle, t). Out-of-range bounds are clamped.
+//
+//grape:noalloc
 func (ch *Chip) PredictRange(t float64, lo, hi int) {
 	if lo < 0 {
 		lo = 0
@@ -343,23 +351,6 @@ func (c Config) BatchCycles(ni, nj int) int64 {
 	return int64(passes) * (int64(c.VMP)*int64(nj) + int64(c.PipelineDepth))
 }
 
-// ForceBatch evaluates the forces on the given i-particles from the chip's
-// stored j-particles, predicted to time t, with softening eps. It returns
-// one Partial per i-particle and the number of clock cycles the batch
-// occupies the chip.
-//
-// Deprecated: this allocating pointer-returning wrapper remains for tests
-// and exploratory code; hot paths use ForceBatchInto with a reused slab.
-func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, int64) {
-	slab := make([]Partial, len(is))
-	cycles := ch.ForceBatchInto(slab, t, is, eps)
-	out := make([]*Partial, len(is))
-	for i := range slab {
-		out[i] = &slab[i]
-	}
-	return out, cycles
-}
-
 // ForceBatchInto is the allocation-free force path: it evaluates the batch
 // into the caller-owned slab dst (len(dst) must be ≥ len(is); dst[i] is
 // re-initialised with the i-particle's exponents) and returns the number
@@ -369,6 +360,8 @@ func (ch *Chip) ForceBatch(t float64, is []IParticle, eps float64) ([]*Partial, 
 // registers.
 //
 // Cycle model: see Config.BatchCycles.
+//
+//grape:noalloc
 func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps float64) int64 {
 	return ch.ForceBatchRangeInto(dst, t, is, eps, 0, len(ch.mem))
 }
@@ -386,9 +379,11 @@ func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps flo
 // arranged by the board's predict stage. The returned cycle count covers
 // just this range; callers striping a chip account whole-chip cycles via
 // Config.BatchCycles.
+//
+//grape:noalloc
 func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, eps float64, lo, hi int) int64 {
 	if len(dst) < len(is) {
-		panic(fmt.Sprintf("chip: partial slab of %d for %d i-particles", len(dst), len(is)))
+		slabPanic(len(dst), len(is))
 	}
 	if lo < 0 {
 		lo = 0
@@ -400,9 +395,10 @@ func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, ep
 	f := ch.cfg.Format
 	e2 := f.Round(eps * eps)
 	// Format constants hoisted out of the pairwise loop: the mantissa
-	// rounder's masks and the fixed-point scale factor.
+	// rounder's masks and the fixed-point scale factor (exactly 2^-PosFrac;
+	// the bit-level layout stays gfixed's business).
 	r := f.Rounder()
-	invPos := 1 / float64(uint64(1)<<f.PosFrac)
+	invPos := f.PosResolution()
 
 	for i := range is {
 		p := &dst[i]
@@ -413,10 +409,19 @@ func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, ep
 	return ch.cfg.BatchCycles(len(is), hi-lo)
 }
 
+// slabPanic reports an undersized partial slab. The formatting machinery
+// lives here, off the noalloc force path, so the annotated kernels carry
+// no interface boxing on their cold error branch.
+func slabPanic(got, want int) {
+	panic(fmt.Sprintf("chip: partial slab of %d for %d i-particles", got, want))
+}
+
 // forceRange streams the memory slots [lo, hi) against one i-particle. r
 // and invPos are the caller-hoisted mantissa rounder and fixed-point scale
 // (invariant across the whole batch; recomputing them per pair would
 // dominate the pipeline arithmetic).
+//
+//grape:noalloc
 func (ch *Chip) forceRange(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64, lo, hi int) {
 	mem, px, pv := ch.mem[lo:hi], ch.px[lo:hi], ch.pv[lo:hi]
 	ix, iy, iz := ip.X[0], ip.X[1], ip.X[2]

@@ -90,6 +90,19 @@ func TestWriteJBounds(t *testing.T) {
 	}
 }
 
+// forceBatch is the tests' allocating convenience wrapper over
+// ForceBatchInto (the retired Chip.ForceBatch shape): fresh slab, pointer
+// views into it.
+func forceBatch(ch *Chip, t float64, is []IParticle, eps float64) ([]*Partial, int64) {
+	slab := make([]Partial, len(is))
+	cycles := ch.ForceBatchInto(slab, t, is, eps)
+	out := make([]*Partial, len(is))
+	for i := range slab {
+		out[i] = &slab[i]
+	}
+	return out, cycles
+}
+
 // makeJ builds a chip particle from float64 state, failing the test on
 // range errors.
 func makeJ(t *testing.T, id int, t0, m float64, x, v, a, j, s vec.V3) JParticle {
@@ -127,7 +140,7 @@ func TestForceMatchesDirectSingle(t *testing.T) {
 		t.Fatal(err)
 	}
 	is := []IParticle{makeI(t, 0, vec.Zero, vec.Zero, 4, 4, 4)}
-	ps, cycles := ch.ForceBatch(0, is, 0)
+	ps, cycles := forceBatch(ch, 0, is, 0)
 	acc, _, pot := PartialValues(ps[0])
 	if math.Abs(acc.X-0.25) > 1e-6 {
 		t.Errorf("acc = %v", acc)
@@ -163,7 +176,7 @@ func TestForceAccuracyVsReference(t *testing.T) {
 	var maxRelA, maxRelP float64
 	for i := 0; i < 32; i++ {
 		ip := makeI(t, i, sys.Pos[i], sys.Vel[i], 4, 6, 6)
-		ps, _ := ch.ForceBatch(0, []IParticle{ip}, eps)
+		ps, _ := forceBatch(ch, 0, []IParticle{ip}, eps)
 		acc, _, pot := PartialValues(ps[0])
 		want := direct.EvalSkip(sys.Pos[i], sys.Vel[i], ref, eps, i)
 		// Chip includes self-interaction: pot has an extra -m/eps.
@@ -202,7 +215,7 @@ func TestSelfInteractionExactlyZero(t *testing.T) {
 	tNow := 0.0078125
 	x, v := PredictParticle(f, &j, tNow)
 	ip := IParticle{X: x, V: v, SelfID: 0, ExpAcc: 4, ExpJerk: 4, ExpPot: 4}
-	ps, _ := ch.ForceBatch(tNow, []IParticle{ip}, 1.0/64)
+	ps, _ := forceBatch(ch, tNow, []IParticle{ip}, 1.0/64)
 	acc, jerk, pot := PartialValues(ps[0])
 	if acc != vec.Zero || jerk != vec.Zero {
 		t.Errorf("self-pair force not exactly zero: a=%v j=%v", acc, jerk)
@@ -235,7 +248,7 @@ func TestPartitionInvarianceAcrossChips(t *testing.T) {
 	if err := single.LoadJ(mkJS()); err != nil {
 		t.Fatal(err)
 	}
-	ps, _ := single.ForceBatch(0, []IParticle{ip}, eps)
+	ps, _ := forceBatch(single, 0, []IParticle{ip}, eps)
 	ref := ps[0]
 
 	for _, parts := range []int{2, 4, 32} {
@@ -250,7 +263,7 @@ func TestPartitionInvarianceAcrossChips(t *testing.T) {
 			if err := chips[c].LoadJ(buckets[c]); err != nil {
 				t.Fatal(err)
 			}
-			pp, _ := chips[c].ForceBatch(0, []IParticle{ip}, eps)
+			pp, _ := forceBatch(chips[c], 0, []IParticle{ip}, eps)
 			merged.Merge(pp[0])
 		}
 		for c := 0; c < 3; c++ {
@@ -280,7 +293,7 @@ func TestOverflowSignalsRetry(t *testing.T) {
 		t.Fatal(err)
 	}
 	ip := makeI(t, 0, vec.Zero, vec.Zero, -40, -40, -40)
-	ps, _ := ch.ForceBatch(0, []IParticle{ip}, 0)
+	ps, _ := forceBatch(ch, 0, []IParticle{ip}, 0)
 	if !ps[0].Overflowed() {
 		t.Error("huge force with tiny exponent did not overflow")
 	}
@@ -292,18 +305,18 @@ func TestCycleAccounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 1 i-particle: one pass → 8×100 + depth cycles.
-	_, cyc1 := ch.ForceBatch(0, make([]IParticle, 1), 0.1)
+	_, cyc1 := forceBatch(ch, 0, make([]IParticle, 1), 0.1)
 	want1 := int64(8*100 + Default.PipelineDepth)
 	if cyc1 != want1 {
 		t.Errorf("1 i: cycles = %d, want %d", cyc1, want1)
 	}
 	// 48 i-particles: still one pass.
-	_, cyc48 := ch.ForceBatch(0, make([]IParticle, 48), 0.1)
+	_, cyc48 := forceBatch(ch, 0, make([]IParticle, 48), 0.1)
 	if cyc48 != want1 {
 		t.Errorf("48 i: cycles = %d, want %d", cyc48, want1)
 	}
 	// 49 i-particles: two passes.
-	_, cyc49 := ch.ForceBatch(0, make([]IParticle, 49), 0.1)
+	_, cyc49 := forceBatch(ch, 0, make([]IParticle, 49), 0.1)
 	if cyc49 != 2*want1 {
 		t.Errorf("49 i: cycles = %d, want %d", cyc49, 2*want1)
 	}
@@ -385,7 +398,7 @@ func TestNearestNeighbour(t *testing.T) {
 		t.Fatal(err)
 	}
 	ip := makeI(t, 99, vec.Zero, vec.Zero, 4, 4, 4)
-	ps, _ := ch.ForceBatch(0, []IParticle{ip}, 0.1)
+	ps, _ := forceBatch(ch, 0, []IParticle{ip}, 0.1)
 	if ps[0].NN != 20 {
 		t.Errorf("NN = %d, want 20", ps[0].NN)
 	}
@@ -420,6 +433,6 @@ func BenchmarkForceBatch48x1024(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		ch.ForceBatch(0, is, 1.0/64)
+		forceBatch(ch, 0, is, 1.0/64)
 	}
 }

@@ -63,7 +63,7 @@ func BenchmarkForceBatch48(b *testing.B) {
 
 func TestForceBatchIntoMatchesForceBatch(t *testing.T) {
 	ch, is := benchChip(t, 256, 48)
-	want, wantCycles := ch.ForceBatch(0, is, 1.0/64)
+	want, wantCycles := forceBatch(ch, 0, is, 1.0/64)
 	dst := make([]Partial, len(is))
 	gotCycles := ch.ForceBatchInto(dst, 0, is, 1.0/64)
 	if gotCycles != wantCycles {

@@ -2,7 +2,6 @@ package chip
 
 import (
 	"fmt"
-	"math"
 
 	"grape6/internal/ecc"
 	"grape6/internal/gfixed"
@@ -19,18 +18,20 @@ import (
 // words: id, t0, mass, 3 fixed-point coordinates and 4×3 floats.
 const WordsPerParticle = 18
 
-// serialize packs a JParticle into its memory words.
+// serialize packs a JParticle into its memory words. Float state crosses
+// the bits boundary through gfixed.FloatBits so the word-level number
+// format stays gfixed's contract (enforced by grapelint's gfixedboundary).
 func serialize(p JParticle) [WordsPerParticle]uint64 {
 	var w [WordsPerParticle]uint64
 	w[0] = uint64(int64(p.ID))
-	w[1] = math.Float64bits(p.T0)
-	w[2] = math.Float64bits(p.Mass)
+	w[1] = gfixed.FloatBits(p.T0)
+	w[2] = gfixed.FloatBits(p.Mass)
 	for c := 0; c < 3; c++ {
 		w[3+c] = uint64(int64(p.X[c]))
-		w[6+c] = math.Float64bits(p.V[c])
-		w[9+c] = math.Float64bits(p.A[c])
-		w[12+c] = math.Float64bits(p.J[c])
-		w[15+c] = math.Float64bits(p.S[c])
+		w[6+c] = gfixed.FloatBits(p.V[c])
+		w[9+c] = gfixed.FloatBits(p.A[c])
+		w[12+c] = gfixed.FloatBits(p.J[c])
+		w[15+c] = gfixed.FloatBits(p.S[c])
 	}
 	return w
 }
@@ -39,14 +40,14 @@ func serialize(p JParticle) [WordsPerParticle]uint64 {
 func deserialize(w [WordsPerParticle]uint64) JParticle {
 	var p JParticle
 	p.ID = int(int64(w[0]))
-	p.T0 = math.Float64frombits(w[1])
-	p.Mass = math.Float64frombits(w[2])
+	p.T0 = gfixed.FloatFromBits(w[1])
+	p.Mass = gfixed.FloatFromBits(w[2])
 	for c := 0; c < 3; c++ {
 		p.X[c] = gfixed.Fixed64(int64(w[3+c]))
-		p.V[c] = math.Float64frombits(w[6+c])
-		p.A[c] = math.Float64frombits(w[9+c])
-		p.J[c] = math.Float64frombits(w[12+c])
-		p.S[c] = math.Float64frombits(w[15+c])
+		p.V[c] = gfixed.FloatFromBits(w[6+c])
+		p.A[c] = gfixed.FloatFromBits(w[9+c])
+		p.J[c] = gfixed.FloatFromBits(w[12+c])
+		p.S[c] = gfixed.FloatFromBits(w[15+c])
 	}
 	return p
 }

@@ -1,0 +1,96 @@
+package gfixed
+
+import (
+	"math"
+	"testing"
+)
+
+// The fuzz targets are differential: the optimized hot-path entry points
+// (Rounder.Round's branch-free carry, Accum.Add's 2^52 magic-constant
+// trick) must stay bit-identical to their straightforward references for
+// EVERY input, not just the corpus the unit tests enumerate. Seeds come
+// from interestingFloats(), which pins the known cliffs: the 2^52
+// integrality boundary, the 2^62 saturation boundary, subnormals, ties,
+// infinities and NaN. verify.sh runs each target with -fuzztime=10s.
+
+func sameBits(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// FuzzRound checks Format.Round and Rounder.Round against RoundMantissa
+// across all mantissa widths, plus idempotence of the rounding itself.
+func FuzzRound(f *testing.F) {
+	for _, x := range interestingFloats() {
+		for _, bits := range []uint{2, 8, 24, 32, 52, 53} {
+			f.Add(math.Float64bits(x), bits)
+		}
+	}
+	f.Fuzz(func(t *testing.T, xb uint64, bits uint) {
+		bits = 2 + bits%52 // valid widths [2, 53]
+		x := math.Float64frombits(xb)
+		fm := Format{PosFrac: 44, MantBits: bits, AccumFrac: 40}
+
+		want := RoundMantissa(x, bits)
+		if got := fm.Round(x); !sameBits(got, want) {
+			t.Fatalf("bits=%d x=%#x: Format.Round %#x != RoundMantissa %#x",
+				bits, xb, math.Float64bits(got), math.Float64bits(want))
+		}
+		if got := fm.Rounder().Round(x); !sameBits(got, want) {
+			t.Fatalf("bits=%d x=%#x: Rounder.Round %#x != RoundMantissa %#x",
+				bits, xb, math.Float64bits(got), math.Float64bits(want))
+		}
+		// Rounding is idempotent: a value already on the short-mantissa
+		// grid must pass through unchanged.
+		if again := RoundMantissa(want, bits); !sameBits(again, want) {
+			t.Fatalf("bits=%d x=%#x: rounding not idempotent: %#x -> %#x",
+				bits, xb, math.Float64bits(want), math.Float64bits(again))
+		}
+		// Sign and zero/NaN class are preserved.
+		if math.Signbit(want) != math.Signbit(x) && !math.IsNaN(x) {
+			t.Fatalf("bits=%d x=%#x: sign flipped to %#x", bits, xb, math.Float64bits(want))
+		}
+	})
+}
+
+// FuzzAccumAdd streams three contributions through the magic-constant
+// Add and the math.RoundToEven reference in lockstep, then checks the
+// partition-invariance property (Section 3.4): splitting the stream
+// across two accumulators and merging is bit-identical to sequential
+// accumulation whenever nothing overflowed.
+func FuzzAccumAdd(f *testing.F) {
+	for _, v := range interestingFloats() {
+		f.Add(4, math.Float64bits(v), math.Float64bits(v/3), math.Float64bits(-v))
+		f.Add(80, math.Float64bits(v), math.Float64bits(1.0), math.Float64bits(v*0.5))
+		f.Add(-20, math.Float64bits(v), math.Float64bits(v), math.Float64bits(v))
+	}
+	f.Fuzz(func(t *testing.T, exp int, b1, b2, b3 uint64) {
+		exp %= 2000 // beyond this Ldexp saturates anyway; keep shrinks readable
+		vs := [3]float64{
+			math.Float64frombits(b1),
+			math.Float64frombits(b2),
+			math.Float64frombits(b3),
+		}
+
+		a := Grape6.MakeAccum(exp)
+		r := Grape6.MakeAccum(exp)
+		for i, v := range vs {
+			a.Add(v)
+			refAdd(&r, v)
+			if a.Sum != r.Sum || a.Overflow != r.Overflow {
+				t.Fatalf("exp=%d step=%d v=%#x: Add (sum=%d ovf=%v) != reference (sum=%d ovf=%v)",
+					exp, i, math.Float64bits(v), a.Sum, a.Overflow, r.Sum, r.Overflow)
+			}
+		}
+
+		p1 := Grape6.MakeAccum(exp)
+		p2 := Grape6.MakeAccum(exp)
+		p1.Add(vs[0])
+		p2.Add(vs[1])
+		p2.Add(vs[2])
+		p1.Merge(&p2)
+		if !a.Overflow && !p1.Overflow && p1.Sum != a.Sum {
+			t.Fatalf("exp=%d vs=%#x,%#x,%#x: partition variance: merged %d != sequential %d",
+				exp, b1, b2, b3, p1.Sum, a.Sum)
+		}
+	})
+}

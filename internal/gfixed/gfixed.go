@@ -97,8 +97,20 @@ func (f Format) FromFixed(v Fixed64) float64 {
 	return float64(v) * (1 / float64(uint64(1)<<f.PosFrac))
 }
 
-// PosResolution returns the quantum of the position format.
+// PosResolution returns the quantum of the position format: exactly
+// 2^-PosFrac, the scale factor that converts a fixed-point difference to
+// the pipeline float format. Kernels hoist it out of their pair loops.
 func (f Format) PosResolution() float64 { return math.Ldexp(1, -int(f.PosFrac)) }
+
+// FloatBits returns the raw IEEE-754 bit pattern of x. It exists so that
+// serialization layers (the chip's ECC-protected DRAM image, snapshot
+// codecs) cross the float↔bits boundary through this package: grapelint's
+// gfixedboundary analyzer forbids math.Float64bits outside gfixed, keeping
+// every bit-level number-format decision in one place.
+func FloatBits(x float64) uint64 { return math.Float64bits(x) }
+
+// FloatFromBits is the inverse of FloatBits.
+func FloatFromBits(b uint64) float64 { return math.Float64frombits(b) }
 
 // PosRange returns the largest representable coordinate magnitude.
 func (f Format) PosRange() float64 { return math.Ldexp(1, 63-int(f.PosFrac)) }
@@ -113,6 +125,8 @@ func (f Format) DiffToFloat(a, b Fixed64) float64 {
 
 // Round rounds x to the pipeline mantissa width (round-to-nearest-even).
 // Zero, infinities and NaN pass through unchanged.
+//
+//grape:noalloc
 func (f Format) Round(x float64) float64 {
 	return RoundMantissa(x, f.MantBits)
 }
@@ -121,6 +135,8 @@ func (f Format) Round(x float64) float64 {
 // implicit bit), round-to-nearest-even. bits must be in [1, 53]; 53 is an
 // identity. This sits on the chip emulator's innermost loop, so it works
 // directly on the IEEE-754 bit pattern.
+//
+//grape:noalloc
 func RoundMantissa(x float64, bits uint) float64 {
 	if x == 0 || bits >= 53 {
 		return x
@@ -149,6 +165,8 @@ func RoundMantissa(x float64, bits uint) float64 {
 
 // roundSubnormal is the slow exact path for subnormal inputs, kept out of
 // line so the normal-number fast path stays within the inlining budget.
+//
+//grape:noalloc
 func roundSubnormal(x float64, bits uint) float64 {
 	frac, e := math.Frexp(x)
 	scaled := math.Ldexp(frac, int(bits))
@@ -188,6 +206,8 @@ func (f Format) Rounder() Rounder {
 // Bit-identical to RoundMantissa(x, bits). The round-up carry is computed
 // branch-free: adding half-1+lsb carries into the kept bits exactly when
 // the dropped fraction exceeds half, or equals half with an odd kept lsb.
+//
+//grape:noalloc
 func (r Rounder) Round(x float64) float64 {
 	b := math.Float64bits(x)
 	if e := (b >> 52) & 0x7ff; e-1 >= 0x7fe {
@@ -199,6 +219,8 @@ func (r Rounder) Round(x float64) float64 {
 }
 
 // roundSpecial handles the rare inputs excluded from Round's fast path.
+//
+//grape:noalloc
 func (r Rounder) roundSpecial(x float64) float64 {
 	if r.bits >= 53 || x == 0 {
 		return x
@@ -226,6 +248,8 @@ type Accum struct {
 }
 
 // MakeAccum returns an accumulator value with the given block exponent.
+//
+//grape:noalloc
 func (f Format) MakeAccum(exp int) Accum {
 	return Accum{Exp: exp, fmt: f, scale: math.Ldexp(1, int(f.AccumFrac)-exp)}
 }
@@ -240,6 +264,8 @@ func (f Format) NewAccum(exp int) *Accum {
 // Init re-initialises an accumulator in place: zero sum, cleared overflow
 // flag, new block exponent. Used by callers that reuse accumulator slabs
 // across evaluations.
+//
+//grape:noalloc
 func (a *Accum) Init(f Format, exp int) {
 	*a = f.MakeAccum(exp)
 }
@@ -255,6 +281,8 @@ func (a *Accum) Init(f Format, exp int) {
 // one IEEE round-to-nearest-even operation, and anything ≥ 2^52 is already
 // integral. Bit-identical results, but the whole of Add stays within the
 // compiler's inlining budget for the kernel's accumulation stage.
+//
+//grape:noalloc
 func (a *Accum) Add(v float64) {
 	if v == 0 {
 		return
@@ -289,6 +317,8 @@ func (a *Accum) Add(v float64) {
 // Merge adds another accumulator's partial sum exactly. Both must share
 // the same block exponent; mismatch is a programming error and panics, as
 // the hardware has no path for it.
+//
+//grape:noalloc
 func (a *Accum) Merge(b *Accum) {
 	if a.Exp != b.Exp || a.fmt.AccumFrac != b.fmt.AccumFrac {
 		panic("gfixed: merging accumulators with different block formats")

@@ -4,11 +4,17 @@
 # Tier 1 (fast, required for every change):
 #   build + full test suite
 # Tier 2 (static + concurrency, required for changes touching hot paths
-#   or anything under internal/board / internal/parallel):
-#   go vet + race detector on the concurrent packages
+#   or anything concurrent):
+#   go vet + race detector across the whole module
+# Tier 3 (repo-native static analysis, required for every change):
+#   grapelint — the noalloc/deterministic/nodeprecated/gfixedboundary/
+#   goroutinejoin suite (DESIGN.md §7). Findings fail the gauntlet.
+# Tier 4 (fuzz, full gauntlet only):
+#   the gfixed differential fuzz targets, 10s each — the rounding and
+#   accumulation hot paths against their references.
 #
 # Usage: scripts/verify.sh [tier]
-#   scripts/verify.sh       # run all tiers
+#   scripts/verify.sh       # run all tiers (the default gauntlet)
 #   scripts/verify.sh 1     # tier 1 only
 set -eu
 cd "$(dirname "$0")/.."
@@ -24,7 +30,18 @@ fi
 if [ "$tier" = 2 ] || [ "$tier" = all ]; then
 	echo "== tier 2: vet + race =="
 	go vet ./...
-	go test -race ./internal/board/... ./internal/chip/... ./internal/gbackend/... ./internal/hermite/... ./internal/parallel/...
+	go test -race ./...
+fi
+
+if [ "$tier" = 3 ] || [ "$tier" = all ]; then
+	echo "== tier 3: grapelint =="
+	go run ./cmd/grapelint ./...
+fi
+
+if [ "$tier" = 4 ] || [ "$tier" = all ]; then
+	echo "== tier 4: fuzz (10s per target) =="
+	go test -run '^$' -fuzz '^FuzzRound$' -fuzztime=10s ./internal/gfixed/
+	go test -run '^$' -fuzz '^FuzzAccumAdd$' -fuzztime=10s ./internal/gfixed/
 fi
 
 echo "verify: OK ($tier)"

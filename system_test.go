@@ -210,7 +210,7 @@ func TestCycleModelsAgree(t *testing.T) {
 			x, v := chip.PredictParticle(f, &js[k%n], 0)
 			is[k] = chip.IParticle{X: x, V: v, SelfID: k % n, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
 		}
-		_, cycles := arr.Forces(0, is, 1.0/64)
+		cycles := arr.ForcesInto(make([]chip.Partial, len(is)), 0, is, 1.0/64)
 		emulated := arr.TimeFor(cycles)
 		analytic := m.GrapeTimeHost(ni, n)
 		// The emulator adds the reduction-tree stages; rounding of the
