@@ -49,6 +49,37 @@ func concat(a, b string) string {
 	return a + b // want "string concatenation allocates"
 }
 
+// planes is a structure-of-arrays hot set in the shape of the chip's
+// prediction cache: component slices that only an unannotated cold path
+// may reallocate.
+type planes struct {
+	x [3][]float64
+	m []float64
+}
+
+// stream is the SoA tile-kernel pattern: every plane resliced to a common
+// tile length, reads through the locals — pure slice arithmetic on
+// pre-sized backing arrays, no allocation.
+//
+//grape:noalloc
+func stream(p *planes, dst *point, lo, hi int) {
+	x0 := p.x[0][lo:hi]
+	n := len(x0)
+	x1, x2 := p.x[1][lo:][:n], p.x[2][lo:][:n]
+	m := p.m[lo:][:n]
+	for k := range x0 {
+		dst.x += m[k] * (x0[k] + x1[k] + x2[k])
+	}
+}
+
+// growInline is the violation the SoA pattern must avoid: reallocating a
+// plane inside an annotated kernel instead of the cold load path.
+//
+//grape:noalloc
+func (p *planes) growInline(n int) {
+	p.m = make([]float64, n) // want "make allocates"
+}
+
 // free is unannotated: the same constructs are fine here.
 func free(n int) []float64 {
 	return append(make([]float64, 0, n), 1)

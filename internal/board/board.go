@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"grape6/internal/chip"
+	"grape6/internal/perfmodel"
 )
 
 // Config describes the packaging of one host's GRAPE-6 attachment.
@@ -139,12 +140,28 @@ type span struct {
 // negligible against the per-slot work.
 const minStripe = 64
 
+// HostCache is the cache model used to derive the default j-tile length
+// of the chips' cache-blocked force streaming (chip.Config.TileJ left
+// zero): the paper's tuned frontend, perfmodel.P4. It stands in for the
+// emulation host — override chip.Config.TileJ to tune for a specific
+// machine. Tile size only affects host wall-clock, never result bits.
+var HostCache = perfmodel.P4
+
 // stripeLen returns the span length for striping `total` j-slots across
-// the pool: about four claims per worker for dynamic load balance.
-func stripeLen(total int) int {
+// the pool: about four claims per worker for dynamic load balance. When
+// the span would exceed one j-tile it is rounded down to a whole number
+// of tiles, so the atomic span claiming composes with the chips' cache
+// blocking — every claimed span then streams complete tiles, and a tile
+// is never split between two workers' claims. Sub-tile spans (small
+// memories, many cores) are left alone; blocking degenerates gracefully
+// there because a span shorter than a tile is itself a single tile.
+func stripeLen(total, tile int) int {
 	l := total / (4 * runtime.GOMAXPROCS(0))
 	if l < minStripe {
 		l = minStripe
+	}
+	if tile > 0 && l > tile {
+		l -= l % tile
 	}
 	return l
 }
@@ -162,9 +179,17 @@ func appendSpans(units []span, ci, nj, l int) []span {
 }
 
 // New builds the attachment. It panics on invalid configuration.
+//
+// When cfg.Chip.TileJ is zero the j-tile length of the chips' cache
+// blocking is derived here from the HostCache profile's CacheBytes (the
+// Fig. 14 cache model) and the SoA hot-set footprint chip.HotJBytes;
+// Config() reports the resolved value.
 func New(cfg Config) *Array {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if cfg.Chip.TileJ == 0 {
+		cfg.Chip.TileJ = HostCache.TileParticles(chip.HotJBytes)
 	}
 	a := &Array{cfg: cfg, loc: make(map[int]jloc)}
 	a.chips = make([]*chip.Chip, cfg.TotalChips())
@@ -402,7 +427,10 @@ func (a *Array) BeginPredict(t float64) {
 func (a *Array) startPredict(t float64) {
 	pc := &a.pc
 	pc.units = pc.units[:0]
-	l := stripeLen(a.nj)
+	// Predict spans use the same tile-aligned striping as the force
+	// stage: alignment is irrelevant for the predictor itself but keeps
+	// one span geometry across both stages.
+	l := stripeLen(a.nj, a.cfg.Chip.TileLen())
 	for ci, ch := range a.chips {
 		if !ch.PredictedAt(t) {
 			pc.units = appendSpans(pc.units, ci, ch.NJ(), l)
@@ -493,7 +521,9 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 	fc := &a.fc
 	fc.t, fc.is, fc.eps, fc.chips = t, is, eps, a.chips
 	fc.units = fc.units[:0]
-	l := stripeLen(a.nj)
+	// Tile-aligned spans: each claim is a whole number of j-tiles, so the
+	// chips' cache blocking and the pool's dynamic striping compose.
+	l := stripeLen(a.nj, a.cfg.Chip.TileLen())
 	for ci, ch := range a.chips {
 		fc.units = appendSpans(fc.units, ci, ch.NJ(), l)
 	}

@@ -17,12 +17,12 @@ import (
 // bit fails here.
 const seedKernelHash = 0x0f9ec51439e83dd1
 
-// goldenWorkloadHash evaluates the fixed seeded workload and hashes every
-// merged partial: all seven accumulator sums plus the nearest-neighbour id
-// per i-particle.
-func goldenWorkloadHash(t *testing.T, forces func(a *Array, is []chip.IParticle) []*chip.Partial) uint64 {
+// goldenWorkloadHash evaluates the fixed seeded workload on an array built
+// from cfg and hashes every merged partial: all seven accumulator sums plus
+// the nearest-neighbour id per i-particle.
+func goldenWorkloadHash(t *testing.T, cfg Config, forces func(a *Array, is []chip.IParticle) []*chip.Partial) uint64 {
 	t.Helper()
-	a := New(smallConfig())
+	a := New(cfg)
 	defer a.Close()
 	_, is := loadPlummer(t, a, 512, 42)
 	out := forces(a, is[:96])
@@ -45,7 +45,7 @@ func goldenWorkloadHash(t *testing.T, forces func(a *Array, is []chip.IParticle)
 }
 
 func TestGoldenBitIdentityVsSeedKernel(t *testing.T) {
-	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+	got := goldenWorkloadHash(t, smallConfig(), func(a *Array, is []chip.IParticle) []*chip.Partial {
 		out, _ := forces(a, 0.015625, is, 1.0/64)
 		return out
 	})
@@ -62,7 +62,7 @@ func TestGoldenBitIdentityWorkerPool(t *testing.T) {
 	// order is irrelevant). Force GOMAXPROCS > 1 so the pool actually runs
 	// even on single-CPU hosts.
 	forceParallel(t)
-	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+	got := goldenWorkloadHash(t, smallConfig(), func(a *Array, is []chip.IParticle) []*chip.Partial {
 		out, _ := forces(a, 0.015625, is, 1.0/64)
 		if len(a.workers) == 0 {
 			t.Fatal("worker pool did not engage for the golden workload")
@@ -71,6 +71,24 @@ func TestGoldenBitIdentityWorkerPool(t *testing.T) {
 	})
 	if got != seedKernelHash {
 		t.Errorf("worker-pool hash %#016x differs from seed kernel %#016x", got, seedKernelHash)
+	}
+}
+
+func TestGoldenBitIdentityTileSweep(t *testing.T) {
+	// Cache blocking must be invisible in the result bits: the golden
+	// workload hashed under degenerate, prime, hardware-batch, mid-size and
+	// auto-derived j-tile lengths must reproduce the seed kernel hash
+	// exactly. 0 exercises board.New's cache-model derivation path.
+	for _, tile := range []int{1, 7, 48, 512, 0} {
+		cfg := smallConfig()
+		cfg.Chip.TileJ = tile
+		got := goldenWorkloadHash(t, cfg, func(a *Array, is []chip.IParticle) []*chip.Partial {
+			out, _ := forces(a, 0.015625, is, 1.0/64)
+			return out
+		})
+		if got != seedKernelHash {
+			t.Errorf("tile %d: hash %#016x differs from seed kernel %#016x", tile, got, seedKernelHash)
+		}
 	}
 }
 
@@ -171,10 +189,23 @@ func TestGoldenMultiStepParallelPrefetch(t *testing.T) {
 	}
 }
 
+func TestGoldenMultiStepTiled(t *testing.T) {
+	// The full individual-timestep loop — predict, force, slot-patch — at a
+	// deliberately awkward prime tile length must still match the serial
+	// pre-optimization hash.
+	cfg := smallConfig()
+	cfg.Chip.TileJ = 31
+	a := New(cfg)
+	defer a.Close()
+	if got := multiStepWorkloadHash(t, a, false); got != multiStepHash {
+		t.Errorf("tiled multi-step hash %#016x, want %#016x", got, multiStepHash)
+	}
+}
+
 func TestGoldenBitIdentityForcesInto(t *testing.T) {
 	// The reuse path through a dirty, caller-owned slab must produce the
 	// same bits as the seed kernel too.
-	got := goldenWorkloadHash(t, func(a *Array, is []chip.IParticle) []*chip.Partial {
+	got := goldenWorkloadHash(t, smallConfig(), func(a *Array, is []chip.IParticle) []*chip.Partial {
 		slab := make([]chip.Partial, len(is))
 		a.ForcesInto(slab, 0.25, is, 0.5) // dirty the slab with another workload
 		a.ForcesInto(slab, 0.015625, is, 1.0/64)

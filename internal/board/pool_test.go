@@ -98,3 +98,20 @@ func BenchmarkArrayForces(b *testing.B) {
 		a.ForcesInto(dst, 0, is[:48], 1.0/64)
 	}
 }
+
+// BenchmarkArrayForces64k is the array path at full memory pressure: 65536
+// j-particles striped over the 8 emulated chips (8192 per chip), where the
+// per-worker j-hot set exceeds the host cache and the tile-aligned spans
+// matter.
+func BenchmarkArrayForces64k(b *testing.B) {
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(b, a, 65536, 1)
+	dst := make([]chip.Partial, 48)
+	a.ForcesInto(dst, 0, is[:48], 1.0/64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.ForcesInto(dst, 0, is[:48], 1.0/64)
+	}
+}

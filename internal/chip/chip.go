@@ -27,6 +27,16 @@ type Config struct {
 	Format        gfixed.Format // arithmetic word lengths
 	MemCapacity   int           // j-particle memory capacity
 	PipelineDepth int           // pipeline latency in cycles
+
+	// TileJ is the j-tile length of the emulation's cache blocking: the
+	// force pass streams the j-memory in tiles of this many slots,
+	// evaluating the whole i-batch against each tile before advancing, so
+	// a tile is read from DRAM once per batch instead of once per
+	// i-particle. 0 selects the package default; board.New derives a
+	// value from the host cache model (perfmodel.HostProfile) instead.
+	// Purely a host-performance knob: block-floating-point accumulation
+	// is exact, so every tile size produces bit-identical results.
+	TileJ int
 }
 
 // Default is the production GRAPE-6 chip configuration.
@@ -53,7 +63,34 @@ func (c Config) Validate() error {
 	if c.PipelineDepth < 0 {
 		return fmt.Errorf("chip: negative pipeline depth %d", c.PipelineDepth)
 	}
+	if c.TileJ < 0 {
+		return fmt.Errorf("chip: negative j-tile length %d", c.TileJ)
+	}
 	return c.Format.Validate()
+}
+
+// HotJBytes is the per-particle footprint of the structure-of-arrays hot
+// set the force loop streams: three fixed-point position planes, three
+// velocity planes, the mass plane and the id plane, 8 bytes each. The
+// full JParticle record (WordsPerParticle words) is NOT touched by the
+// inner loop; tile sizing uses this number.
+const HotJBytes = 8 * 8
+
+// defaultTileJ is the fallback j-tile length for a standalone chip with
+// TileJ left zero: the hot set of one tile (HotJBytes per slot) fills
+// half of a 512 KB cache — the paper's tuned-frontend cache size
+// (perfmodel.P4) — leaving the other half for the i-batch, the partial
+// slab and the stack. Boards derive the same number through
+// perfmodel.HostProfile.TileParticles at construction.
+const defaultTileJ = 512 * 1024 / (2 * HotJBytes)
+
+// TileLen returns the j-tile length cache blocking will use: TileJ when
+// set, else the package default.
+func (c Config) TileLen() int {
+	if c.TileJ > 0 {
+		return c.TileJ
+	}
+	return defaultTileJ
 }
 
 // IBatch returns the number of i-particles served in parallel by one pass
@@ -159,15 +196,26 @@ func (p *Partial) Overflowed() bool {
 }
 
 // Chip is one emulated processor chip.
+//
+// The j-memory is held twice: mem is the canonical array-of-structs
+// record store (what LoadJ/WriteJ/the ECC memory image operate on), and
+// the structure-of-arrays hot set below is what the force pipelines
+// actually stream — contiguous component planes, so the inner loop never
+// strides over full JParticle records. mass and id mirror the memory
+// contents; px and pv hold the prediction cache, refreshed by Predict.
 type Chip struct {
 	cfg Config
 	mem []JParticle
 
+	// SoA hot set: per-component planes indexed by memory slot.
+	mass []float64
+	id   []int
+
 	// predicted state, refreshed by Predict
 	predT  float64
 	predOK bool
-	px     [][3]gfixed.Fixed64
-	pv     [][3]float64
+	px     [3][]gfixed.Fixed64
+	pv     [3][]float64
 }
 
 // New returns an empty chip. It panics on invalid configuration, mirroring
@@ -192,7 +240,11 @@ func (ch *Chip) LoadJ(ps []JParticle) error {
 		return fmt.Errorf("chip: %d j-particles exceed memory capacity %d", len(ps), ch.cfg.MemCapacity)
 	}
 	ch.mem = append(ch.mem[:0], ps...)
-	ch.growPred()
+	ch.growPlanes()
+	for k := range ch.mem {
+		ch.mass[k] = ch.mem[k].Mass
+		ch.id[k] = ch.mem[k].ID
+	}
 	ch.predOK = false
 	return nil
 }
@@ -208,24 +260,38 @@ func (ch *Chip) WriteJ(slot int, p JParticle) error {
 		return fmt.Errorf("chip: slot %d out of range [0,%d)", slot, len(ch.mem))
 	}
 	ch.mem[slot] = p
+	ch.mass[slot] = p.Mass
+	ch.id[slot] = p.ID
 	if ch.predOK {
-		ch.px[slot], ch.pv[slot] = PredictParticle(ch.cfg.Format, &p, ch.predT)
+		x, v := PredictParticle(ch.cfg.Format, &p, ch.predT)
+		for c := 0; c < 3; c++ {
+			ch.px[c][slot] = x[c]
+			ch.pv[c][slot] = v[c]
+		}
 	}
 	return nil
 }
 
-func (ch *Chip) growPred() {
+func (ch *Chip) growPlanes() {
 	n := len(ch.mem)
-	// Reallocate when the buffers are too small, and also when the j-set
+	// Reallocate when the planes are too small, and also when the j-set
 	// shrank to under a quarter of the backing arrays — otherwise one
 	// large load would pin the largest-ever allocation for the chip's
 	// lifetime. The >64 floor keeps tiny test loads from thrashing.
-	if cap(ch.px) < n || (cap(ch.px) > 4*n && cap(ch.px) > 64) {
-		ch.px = make([][3]gfixed.Fixed64, n)
-		ch.pv = make([][3]float64, n)
+	if cap(ch.mass) < n || (cap(ch.mass) > 4*n && cap(ch.mass) > 64) {
+		for c := 0; c < 3; c++ {
+			ch.px[c] = make([]gfixed.Fixed64, n)
+			ch.pv[c] = make([]float64, n)
+		}
+		ch.mass = make([]float64, n)
+		ch.id = make([]int, n)
 	}
-	ch.px = ch.px[:n]
-	ch.pv = ch.pv[:n]
+	for c := 0; c < 3; c++ {
+		ch.px[c] = ch.px[c][:n]
+		ch.pv[c] = ch.pv[c][:n]
+	}
+	ch.mass = ch.mass[:n]
+	ch.id = ch.id[:n]
 }
 
 // PredictParticle evaluates the predictor polynomials, eqs. (6)-(7), for a
@@ -306,8 +372,12 @@ func (ch *Chip) PredictRange(t float64, lo, hi int) {
 	}
 	f := ch.cfg.Format
 	r := f.Rounder()
+	px0, px1, px2 := ch.px[0], ch.px[1], ch.px[2]
+	pv0, pv1, pv2 := ch.pv[0], ch.pv[1], ch.pv[2]
 	for k := lo; k < hi; k++ {
-		ch.px[k], ch.pv[k] = predictParticle(f, r, &ch.mem[k], t)
+		x, v := predictParticle(f, r, &ch.mem[k], t)
+		px0[k], px1[k], px2[k] = x[0], x[1], x[2]
+		pv0[k], pv1[k], pv2[k] = v[0], v[1], v[2]
 	}
 }
 
@@ -371,7 +441,17 @@ func (ch *Chip) ForceBatchInto(dst []Partial, t float64, is []IParticle, eps flo
 // across host cores: block-floating-point accumulation is exact integer
 // addition, so per-stripe partials Merge into results bit-identical to a
 // whole-memory stream (the Section 3.4 partition-invariance property,
-// applied within a chip instead of across chips).
+// applied within a chip instead of across chips). Out-of-range and
+// reversed bounds are clamped to an empty range, never a panic.
+//
+// The range is streamed in j-tiles of Config.TileLen slots with the
+// loops interchanged: every i-particle is evaluated against one tile
+// before the next tile is touched, so a tile's SoA planes are pulled
+// into the host cache once per batch instead of once per i-particle —
+// the broadcast-i / stream-j layout of the real chip, where j-particles
+// stream from local memory through all pipelines at once. The same
+// partition invariance that makes striping exact makes the tiled
+// partial sums bit-identical to the whole-memory stream.
 //
 // Prediction of a missing time runs lazily over the WHOLE memory, which
 // is only safe single-threaded: concurrent range calls on one chip
@@ -391,6 +471,9 @@ func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, ep
 	if hi > len(ch.mem) {
 		hi = len(ch.mem)
 	}
+	if hi < lo {
+		hi = lo
+	}
 	ch.Predict(t)
 	f := ch.cfg.Format
 	e2 := f.Round(eps * eps)
@@ -401,9 +484,17 @@ func (ch *Chip) ForceBatchRangeInto(dst []Partial, t float64, is []IParticle, ep
 	invPos := f.PosResolution()
 
 	for i := range is {
-		p := &dst[i]
-		p.Init(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
-		ch.forceRange(&is[i], p, e2, r, invPos, lo, hi)
+		dst[i].Init(f, is[i].ExpAcc, is[i].ExpJerk, is[i].ExpPot)
+	}
+	tile := ch.cfg.TileLen()
+	for tlo := lo; tlo < hi; tlo += tile {
+		thi := tlo + tile
+		if thi > hi {
+			thi = hi
+		}
+		for i := range is {
+			ch.forceTile(&is[i], &dst[i], e2, r, invPos, tlo, thi)
+		}
 	}
 
 	return ch.cfg.BatchCycles(len(is), hi-lo)
@@ -416,27 +507,33 @@ func slabPanic(got, want int) {
 	panic(fmt.Sprintf("chip: partial slab of %d for %d i-particles", got, want))
 }
 
-// forceRange streams the memory slots [lo, hi) against one i-particle. r
-// and invPos are the caller-hoisted mantissa rounder and fixed-point scale
+// forceTile streams the j-tile [lo, hi) against one i-particle. r and
+// invPos are the caller-hoisted mantissa rounder and fixed-point scale
 // (invariant across the whole batch; recomputing them per pair would
-// dominate the pipeline arithmetic).
+// dominate the pipeline arithmetic). Only the SoA hot-set planes are
+// read — HotJBytes per slot, never the full JParticle record — so the
+// tile's working set is what Config.TileLen sized against the cache.
 //
 //grape:noalloc
-func (ch *Chip) forceRange(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64, lo, hi int) {
-	mem, px, pv := ch.mem[lo:hi], ch.px[lo:hi], ch.pv[lo:hi]
+func (ch *Chip) forceTile(ip *IParticle, p *Partial, e2 float64, r gfixed.Rounder, invPos float64, lo, hi int) {
+	px0 := ch.px[0][lo:hi]
+	n := len(px0)
+	// Reslice every plane to the same length so the compiler can prove
+	// the indexed loads below in bounds once, outside the loop.
+	px1, px2 := ch.px[1][lo:][:n], ch.px[2][lo:][:n]
+	pv0, pv1, pv2 := ch.pv[0][lo:][:n], ch.pv[1][lo:][:n], ch.pv[2][lo:][:n]
+	mass, id := ch.mass[lo:][:n], ch.id[lo:][:n]
 	ix, iy, iz := ip.X[0], ip.X[1], ip.X[2]
 	ivx, ivy, ivz := ip.V[0], ip.V[1], ip.V[2]
-	for k := range mem {
-		j := &mem[k]
-
+	for k := range px0 {
 		// Stage 1: coordinate difference, exact in fixed point, then
 		// converted to the pipeline float format.
-		dx := r.Round(float64(px[k][0]-ix) * invPos)
-		dy := r.Round(float64(px[k][1]-iy) * invPos)
-		dz := r.Round(float64(px[k][2]-iz) * invPos)
-		dvx := r.Round(pv[k][0] - ivx)
-		dvy := r.Round(pv[k][1] - ivy)
-		dvz := r.Round(pv[k][2] - ivz)
+		dx := r.Round(float64(px0[k]-ix) * invPos)
+		dy := r.Round(float64(px1[k]-iy) * invPos)
+		dz := r.Round(float64(px2[k]-iz) * invPos)
+		dvx := r.Round(pv0[k] - ivx)
+		dvy := r.Round(pv1[k] - ivy)
+		dvz := r.Round(pv2[k] - ivz)
 
 		// Stage 2: squared distance with softening.
 		r2 := r.Round(dx*dx + dy*dy + dz*dz + e2)
@@ -448,7 +545,7 @@ func (ch *Chip) forceRange(ip *IParticle, p *Partial, e2 float64, r gfixed.Round
 		// Stage 3: inverse square root and force factor.
 		rinv := r.Round(1 / math.Sqrt(r2))
 		rinv2 := r.Round(rinv * rinv)
-		mrinv := r.Round(j.Mass * rinv)
+		mrinv := r.Round(mass[k] * rinv)
 		mrinv3 := r.Round(mrinv * rinv2)
 
 		// Stage 4: (v·r)/(r²+ε²).
@@ -465,9 +562,9 @@ func (ch *Chip) forceRange(ip *IParticle, p *Partial, e2 float64, r gfixed.Round
 		p.Pot.Add(-mrinv)
 
 		// Nearest-neighbour unit, excluding the self-pair by id.
-		if j.ID != ip.SelfID && (r2 < p.NND2 || (r2 == p.NND2 && (p.NN < 0 || j.ID < p.NN))) {
+		if id[k] != ip.SelfID && (r2 < p.NND2 || (r2 == p.NND2 && (p.NN < 0 || id[k] < p.NN))) {
 			p.NND2 = r2
-			p.NN = j.ID
+			p.NN = id[k]
 		}
 	}
 }

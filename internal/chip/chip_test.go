@@ -364,9 +364,9 @@ func TestPredictCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch.Predict(1.0)
-	x1 := ch.px[0]
+	x1 := ch.px[0][0]
 	ch.Predict(1.0) // cached, same result
-	if ch.px[0] != x1 {
+	if ch.px[0][0] != x1 {
 		t.Error("cached prediction changed")
 	}
 	// Writing invalidates the cache.
@@ -375,7 +375,7 @@ func TestPredictCache(t *testing.T) {
 		t.Fatal(err)
 	}
 	ch.Predict(1.0)
-	if ch.px[0] == x1 {
+	if ch.px[0][0] == x1 {
 		t.Error("prediction not refreshed after WriteJ")
 	}
 }

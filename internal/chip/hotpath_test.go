@@ -9,13 +9,13 @@ import (
 	"grape6/internal/xrand"
 )
 
-// benchChip loads a Plummer model of n j-particles into a default chip and
-// returns it together with ni prepared i-particles.
-func benchChip(tb testing.TB, n, ni int) (*Chip, []IParticle) {
+// benchParticles builds a seeded Plummer model of n j-particles and ni
+// prepared i-particles (predicted to t=0), without loading any chip — so
+// tests comparing chips under different configurations share one workload.
+func benchParticles(tb testing.TB, n, ni int) ([]JParticle, []IParticle) {
 	tb.Helper()
 	rng := xrand.New(1)
 	sys := model.Plummer(n, rng)
-	ch := New(Default)
 	f := gfixed.Grape6
 	js := make([]JParticle, sys.N)
 	for i := 0; i < sys.N; i++ {
@@ -25,13 +25,22 @@ func benchChip(tb testing.TB, n, ni int) (*Chip, []IParticle) {
 		}
 		js[i] = p
 	}
-	if err := ch.LoadJ(js); err != nil {
-		tb.Fatal(err)
-	}
 	is := make([]IParticle, ni)
 	for k := range is {
 		x, v := PredictParticle(f, &js[k%n], 0)
 		is[k] = IParticle{X: x, V: v, SelfID: k % n, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
+	}
+	return js, is
+}
+
+// benchChip loads a Plummer model of n j-particles into a default chip and
+// returns it together with ni prepared i-particles.
+func benchChip(tb testing.TB, n, ni int) (*Chip, []IParticle) {
+	tb.Helper()
+	js, is := benchParticles(tb, n, ni)
+	ch := New(Default)
+	if err := ch.LoadJ(js); err != nil {
+		tb.Fatal(err)
 	}
 	return ch, is
 }
@@ -100,12 +109,12 @@ func TestForceBatchIntoShortSlabPanics(t *testing.T) {
 	ch.ForceBatchInto(make([]Partial, 1), 0, is, 0.1)
 }
 
-func TestGrowPredShrinks(t *testing.T) {
+func TestGrowPlanesShrink(t *testing.T) {
 	ch := New(Default)
 	if err := ch.LoadJ(make([]JParticle, 10000)); err != nil {
 		t.Fatal(err)
 	}
-	bigCap := cap(ch.px)
+	bigCap := cap(ch.px[0])
 	if bigCap < 10000 {
 		t.Fatalf("cap %d after loading 10000", bigCap)
 	}
@@ -113,22 +122,22 @@ func TestGrowPredShrinks(t *testing.T) {
 	if err := ch.LoadJ(make([]JParticle, 100)); err != nil {
 		t.Fatal(err)
 	}
-	if cap(ch.px) > 4*100 {
-		t.Errorf("predictor buffers retained cap %d for a 100-particle j-set", cap(ch.px))
+	if cap(ch.px[0]) > 4*100 || cap(ch.mass) > 4*100 {
+		t.Errorf("SoA planes retained caps %d/%d for a 100-particle j-set", cap(ch.px[0]), cap(ch.mass))
 	}
-	if len(ch.px) != 100 || len(ch.pv) != 100 {
-		t.Errorf("predictor buffer lengths %d/%d, want 100", len(ch.px), len(ch.pv))
+	if len(ch.px[0]) != 100 || len(ch.pv[0]) != 100 || len(ch.mass) != 100 || len(ch.id) != 100 {
+		t.Errorf("plane lengths %d/%d/%d/%d, want 100", len(ch.px[0]), len(ch.pv[0]), len(ch.mass), len(ch.id))
 	}
 	// Small fluctuations must NOT thrash: 100 → 60 keeps the allocation.
 	if err := ch.LoadJ(make([]JParticle, 60)); err != nil {
 		t.Fatal(err)
 	}
-	if cap(ch.px) < 100 {
-		t.Errorf("predictor buffers reallocated on a mild shrink (cap %d)", cap(ch.px))
+	if cap(ch.px[0]) < 100 {
+		t.Errorf("SoA planes reallocated on a mild shrink (cap %d)", cap(ch.px[0]))
 	}
 	// And prediction still works on the shrunk set.
 	ch.Predict(0.5)
-	if len(ch.px) != 60 {
-		t.Errorf("predicted %d particles, want 60", len(ch.px))
+	if len(ch.px[0]) != 60 {
+		t.Errorf("predicted %d particles, want 60", len(ch.px[0]))
 	}
 }

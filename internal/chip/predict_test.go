@@ -35,15 +35,17 @@ func loadRandomChip(t *testing.T, n int, seed uint64) (*Chip, []JParticle) {
 // caches over all slots.
 func requireSameCache(t *testing.T, got, want *Chip, label string) {
 	t.Helper()
-	if len(got.px) != len(want.px) {
-		t.Fatalf("%s: cache length %d vs %d", label, len(got.px), len(want.px))
+	if len(got.px[0]) != len(want.px[0]) {
+		t.Fatalf("%s: cache length %d vs %d", label, len(got.px[0]), len(want.px[0]))
 	}
-	for s := range got.px {
-		if got.px[s] != want.px[s] {
-			t.Fatalf("%s: slot %d position cache differs: %v vs %v", label, s, got.px[s], want.px[s])
-		}
-		if got.pv[s] != want.pv[s] {
-			t.Fatalf("%s: slot %d velocity cache differs: %v vs %v", label, s, got.pv[s], want.pv[s])
+	for c := 0; c < 3; c++ {
+		for s := range got.px[c] {
+			if got.px[c][s] != want.px[c][s] {
+				t.Fatalf("%s: slot %d position plane %d differs: %v vs %v", label, s, c, got.px[c][s], want.px[c][s])
+			}
+			if got.pv[c][s] != want.pv[c][s] {
+				t.Fatalf("%s: slot %d velocity plane %d differs: %v vs %v", label, s, c, got.pv[c][s], want.pv[c][s])
+			}
 		}
 	}
 }

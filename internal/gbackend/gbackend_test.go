@@ -217,3 +217,34 @@ func TestSpeedAccountingPlausible(t *testing.T) {
 	}
 	_ = units.FlopsPerInteraction
 }
+
+func TestIntegrationTileInvariant(t *testing.T) {
+	// The j-tile length is a pure host-performance knob: a full Hermite
+	// integration on the emulated hardware must be bit-identical under any
+	// tile size, down to the last position bit — the end-to-end face of
+	// the chip-level tile-invariance property.
+	eps := 1.0 / 64
+	run := func(tileJ int) *nbody.System {
+		sys := model.Plummer(64, xrand.New(9))
+		cfg := board.Default
+		cfg.ChipsPerModule = 2
+		cfg.ModulesPerBoard = 2
+		cfg.Boards = 1
+		cfg.Chip.TileJ = tileJ
+		arr := board.New(cfg)
+		defer arr.Close()
+		it, err := hermite.New(sys, New(arr), hermite.DefaultParams(eps))
+		if err != nil {
+			t.Fatal(err)
+		}
+		it.Run(0.0625)
+		return sys
+	}
+	want := run(0) // cache-model default
+	got := run(13) // awkward prime tile
+	for i := 0; i < want.N; i++ {
+		if want.Pos[i] != got.Pos[i] || want.Vel[i] != got.Vel[i] {
+			t.Fatalf("particle %d state differs between tile sizes", i)
+		}
+	}
+}

@@ -1,22 +1,33 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr2.json so future PRs can track the trajectory.
+# BENCH_pr4.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
 # The tracked set covers the block-step hot path (predictor variants,
-# small-block steps, raw chip throughput) plus the Fig. 13 headline run
-# whose model Gflops double as a regression canary for the cycle model.
+# small-block steps, raw chip throughput), the Fig. 13 headline run whose
+# model Gflops double as a regression canary for the cycle model, and the
+# cache-blocked force kernel: full-depth chip and array passes plus the
+# j-tile-length sweep (BenchmarkForceTiled) that validates the Fig. 14
+# cache-model tile derivation on the actual host.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr2.json}"
+out="${1:-BENCH_pr4.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test . -run '^$' \
 	-bench 'BenchmarkPredictFull$|BenchmarkPredictStriped$|BenchmarkPredictSlotPatch$|BenchmarkSmallBlockStep$|BenchmarkEmulatedChipThroughput$|BenchmarkFig13SingleNode$' \
 	-benchmem -benchtime=1s | tee "$tmp"
+
+go test ./internal/chip -run '^$' \
+	-bench 'BenchmarkForceBatch48$|BenchmarkForceBatch48x64k$|BenchmarkForceTiled$' \
+	-benchmem -benchtime=1s | tee -a "$tmp"
+
+go test ./internal/board -run '^$' \
+	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
+	-benchmem -benchtime=1s | tee -a "$tmp"
 
 # Parse `go test -bench` lines into JSON. Fields per line:
 #   name iters ns/op [value unit]... [B/op] [allocs/op]
