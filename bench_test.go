@@ -6,6 +6,7 @@
 package grape6_test
 
 import (
+	"fmt"
 	"math"
 	"testing"
 
@@ -15,6 +16,10 @@ import (
 	"grape6/internal/gbackend"
 	"grape6/internal/hermite"
 	"grape6/internal/model"
+	"grape6/internal/parallel"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/units"
 	"grape6/internal/xrand"
 
 	gboard "grape6/internal/board"
@@ -354,5 +359,68 @@ func BenchmarkHermiteOnEmulatedHardware(b *testing.B) {
 			b.Fatal(err)
 		}
 		it.Run(1.0 / 32)
+	}
+}
+
+// cosimBench runs one recorded multi-node co-simulation and reports the
+// virtual-time phase decomposition as benchmark metrics, so the tracked
+// JSON carries the per-NIC breakdown trajectory alongside wall-clock.
+func cosimBench(b *testing.B, run func() (*parallel.Result, error)) {
+	var res *parallel.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	m := res.Breakdown.Mean()
+	b.ReportMetric(res.VirtualTime, "vtime_s")
+	b.ReportMetric(m.Host(), "host_s")
+	b.ReportMetric(m.Grape(), "grape_s")
+	b.ReportMetric(m.Comm(), "comm_s")
+	b.ReportMetric(m.Sync(), "sync_s")
+	b.ReportMetric(res.StepsPerSecond(), "steps/vs")
+}
+
+func cosimConfig(hosts int, nic simnet.NIC) parallel.Config {
+	eps := units.Softening(units.SoftConstant, 128)
+	return parallel.Config{
+		Hosts:   hosts,
+		NIC:     nic,
+		Machine: perfmodel.SingleNode(nic, perfmodel.Athlon),
+		Params:  hermite.DefaultParams(eps),
+		Record:  true,
+	}
+}
+
+// BenchmarkCosimRing sweeps the ring algorithm over host counts and NIC
+// generations (the Figure 15/19 axes) with phase accounting on.
+func BenchmarkCosimRing(b *testing.B) {
+	for _, nc := range []struct {
+		name string
+		nic  simnet.NIC
+	}{{"ns83820", simnet.NS83820}, {"intel82540em", simnet.Intel82540EM}} {
+		for _, hosts := range []int{2, 4, 8, 16} {
+			b.Run(fmt.Sprintf("%s/hosts=%d", nc.name, hosts), func(b *testing.B) {
+				cfg := cosimConfig(hosts, nc.nic)
+				cosimBench(b, func() (*parallel.Result, error) {
+					return parallel.RunRing(model.Plummer(128, xrand.New(1)), 0.03125, cfg)
+				})
+			})
+		}
+	}
+}
+
+// BenchmarkCosimHybrid sweeps the production clusters×grid structure
+// (Figure 17 axes) with phase accounting on.
+func BenchmarkCosimHybrid(b *testing.B) {
+	for _, sh := range []struct{ clusters, hosts int }{{1, 4}, {2, 8}, {4, 16}} {
+		b.Run(fmt.Sprintf("clusters=%d/hosts=%d", sh.clusters, sh.hosts), func(b *testing.B) {
+			cfg := cosimConfig(sh.hosts, simnet.NS83820)
+			cosimBench(b, func() (*parallel.Result, error) {
+				return parallel.RunHybrid(model.Plummer(128, xrand.New(1)), 0.03125, sh.clusters, cfg)
+			})
+		})
 	}
 }

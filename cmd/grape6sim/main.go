@@ -5,6 +5,13 @@
 //	grape6sim -n 1024 -t 1 -model plummer -backend grape
 //	grape6sim -n 4096 -t 0.5 -model disk -backend direct -checkpoint out.g6
 //	grape6sim -restore out.g6 -t 1.0
+//
+// With -hosts it instead runs the multi-node co-simulation (the parallel
+// drivers over the simulated network), with optional per-phase virtual-
+// time accounting:
+//
+//	grape6sim -hosts 4 -algo ring -n 256 -t 0.0625 -breakdown
+//	grape6sim -hosts 8 -algo hybrid -clusters 2 -nic myrinet -trace out.json
 package main
 
 import (
@@ -15,8 +22,13 @@ import (
 	"grape6/internal/binaries"
 	"grape6/internal/core"
 	"grape6/internal/diag"
+	"grape6/internal/hermite"
 	"grape6/internal/model"
 	"grape6/internal/nbody"
+	"grape6/internal/parallel"
+	"grape6/internal/perfmodel"
+	"grape6/internal/simnet"
+	"grape6/internal/timing"
 	"grape6/internal/units"
 	"grape6/internal/xrand"
 )
@@ -35,6 +47,13 @@ func main() {
 		report    = flag.Float64("report", 0.25, "diagnostic report interval")
 		check     = flag.String("checkpoint", "", "write a checkpoint here at the end")
 		restore   = flag.String("restore", "", "restore from this checkpoint instead of sampling")
+
+		hosts     = flag.Int("hosts", 0, "co-simulation host count (0 = single-process mode)")
+		algo      = flag.String("algo", "copy", "co-simulation algorithm: copy, ring, grid, hybrid")
+		clusters  = flag.Int("clusters", 1, "co-simulation cluster count (algo=hybrid)")
+		nicName   = flag.String("nic", "ns83820", "co-simulation NIC: ns83820, tigon2, intel82540em, myrinet, bypass")
+		breakdown = flag.Bool("breakdown", false, "print the per-rank virtual-time phase breakdown (needs -hosts)")
+		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the co-simulation here (needs -hosts)")
 	)
 	flag.Parse()
 
@@ -59,6 +78,25 @@ func main() {
 		fatal("unknown backend %q", *backend)
 	}
 
+	if *hosts > 0 {
+		if *restore != "" || *check != "" {
+			fatal("checkpointing is not supported in co-simulation mode")
+		}
+		if bk != core.Direct {
+			fatal("co-simulation mode supports only -backend direct")
+		}
+		runCosim(cosimOpts{
+			n: *n, modelName: *modelName, kingW0: *kingW0, seed: *seed,
+			kind: kind, tEnd: *tEnd, eta: *eta,
+			hosts: *hosts, algo: *algo, clusters: *clusters,
+			nicName: *nicName, breakdown: *breakdown, traceOut: *traceOut,
+		})
+		return
+	}
+	if *breakdown || *traceOut != "" {
+		fatal("-breakdown and -trace need the co-simulation mode (-hosts)")
+	}
+
 	var sim *core.Simulator
 	var eps float64
 	if *restore != "" {
@@ -73,26 +111,7 @@ func main() {
 		}
 		fmt.Printf("restored N=%d at t=%.6g\n", sim.System().N, sim.Time())
 	} else {
-		rng := xrand.New(*seed)
-		var sys *nbody.System
-		switch *modelName {
-		case "plummer":
-			sys = model.Plummer(*n, rng)
-		case "king":
-			var err error
-			sys, err = model.King(*n, *kingW0, rng)
-			if err != nil {
-				fatal("%v", err)
-			}
-		case "disk":
-			sys = model.Disk(model.DefaultKuiperDisk(*n), rng)
-		case "bhbinary":
-			sys = model.PlummerWithBlackHoles(*n, 0.005, 0.3, rng)
-		case "coldsphere":
-			sys = model.ColdSphere(*n, 1.5, rng)
-		default:
-			fatal("unknown model %q", *modelName)
-		}
+		sys := buildSystem(*modelName, *n, *kingW0, *seed)
 		eps = units.Softening(kind, sys.N)
 		var err error
 		sim, err = core.NewSimulator(sys, core.Config{Backend: bk, Eps: eps, Eta: *eta})
@@ -143,6 +162,150 @@ func main() {
 			fatal("checkpoint: %v", err)
 		}
 		fmt.Printf("checkpoint written to %s\n", *check)
+	}
+}
+
+// buildSystem samples the requested initial model.
+func buildSystem(name string, n int, w0 float64, seed uint64) *nbody.System {
+	rng := xrand.New(seed)
+	switch name {
+	case "plummer":
+		return model.Plummer(n, rng)
+	case "king":
+		sys, err := model.King(n, w0, rng)
+		if err != nil {
+			fatal("%v", err)
+		}
+		return sys
+	case "disk":
+		return model.Disk(model.DefaultKuiperDisk(n), rng)
+	case "bhbinary":
+		return model.PlummerWithBlackHoles(n, 0.005, 0.3, rng)
+	case "coldsphere":
+		return model.ColdSphere(n, 1.5, rng)
+	default:
+		fatal("unknown model %q", name)
+		return nil
+	}
+}
+
+type cosimOpts struct {
+	n         int
+	modelName string
+	kingW0    float64
+	seed      uint64
+	kind      units.SofteningKind
+	tEnd      float64
+	eta       float64
+
+	hosts     int
+	algo      string
+	clusters  int
+	nicName   string
+	breakdown bool
+	traceOut  string
+}
+
+func cosimNIC(name string) (simnet.NIC, bool) {
+	switch name {
+	case "ns83820":
+		return simnet.NS83820, true
+	case "tigon2":
+		return simnet.Tigon2, true
+	case "intel82540em":
+		return simnet.Intel82540EM, true
+	case "myrinet":
+		return simnet.Myrinet, true
+	case "bypass":
+		return simnet.KernelBypass, true
+	}
+	return simnet.NIC{}, false
+}
+
+// runCosim executes one multi-node co-simulation and reports virtual-time
+// performance, optionally with the per-phase breakdown and a Chrome
+// trace-event export.
+func runCosim(o cosimOpts) {
+	nic, ok := cosimNIC(o.nicName)
+	if !ok {
+		fatal("unknown NIC %q", o.nicName)
+	}
+	sys := buildSystem(o.modelName, o.n, o.kingW0, o.seed)
+	eps := units.Softening(o.kind, sys.N)
+	params := hermite.DefaultParams(eps)
+	if o.eta > 0 {
+		params.Eta = o.eta
+	}
+	cfg := parallel.Config{
+		Hosts:   o.hosts,
+		NIC:     nic,
+		Machine: perfmodel.SingleNode(nic, perfmodel.Athlon),
+		Params:  params,
+		Record:  o.breakdown || o.traceOut != "",
+	}
+	fmt.Printf("cosim model=%s N=%d algo=%s hosts=%d nic=%s eps=%.6g eta=%g\n",
+		o.modelName, sys.N, o.algo, o.hosts, nic.Name, eps, params.Eta)
+
+	var res *parallel.Result
+	var err error
+	switch o.algo {
+	case "copy":
+		res, err = parallel.RunCopy(sys, o.tEnd, cfg)
+	case "ring":
+		res, err = parallel.RunRing(sys, o.tEnd, cfg)
+	case "grid":
+		res, err = parallel.RunGrid(sys, o.tEnd, cfg)
+	case "hybrid":
+		res, err = parallel.RunHybrid(sys, o.tEnd, o.clusters, cfg)
+	default:
+		fatal("unknown algorithm %q", o.algo)
+	}
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	fmt.Printf("virtual time %.6g s: %d blocks, %d steps (%.4g steps/s), %d messages, %d bytes\n",
+		res.VirtualTime, res.Blocks, res.Steps, res.StepsPerSecond(),
+		res.Messages, res.Bytes)
+
+	if res.Breakdown != nil {
+		fmt.Print("\nper-rank virtual-time breakdown (seconds):\n")
+		fmt.Print(res.Breakdown.Table())
+
+		// Analytic cross-check: replay the recorded global block sizes
+		// through the perfmodel decomposition of the same machine shape.
+		am := perfmodel.Machine{
+			Name: "cosim cross-check", Clusters: o.clusters,
+			HostsPerCl: o.hosts / o.clusters, BoardsPerHost: 4,
+			HW: perfmodel.ProductionHW, Link: perfmodel.PCI,
+			NIC: nic, Host: perfmodel.Athlon,
+		}
+		if o.algo != "hybrid" {
+			am.Clusters = 1
+			am.HostsPerCl = o.hosts
+		}
+		rep := timing.ReportForBlocks(am, sys.N, res.BlockSizes)
+		mean := res.Breakdown.Mean()
+		fmt.Printf("\nanalytic model for the same blocks (per-host means, seconds):\n")
+		fmt.Printf("  %-10s %12s %12s\n", "component", "cosim", "model")
+		fmt.Printf("  %-10s %12.6g %12.6g\n", "host", mean.Host(), rep.Host)
+		fmt.Printf("  %-10s %12.6g %12.6g\n", "grape", mean.Grape(), rep.Grape)
+		fmt.Printf("  %-10s %12.6g %12.6g\n", "comm", mean.Comm(), rep.Comm)
+		fmt.Printf("  %-10s %12.6g %12.6g\n", "sync", mean.Sync(), rep.Sync)
+	}
+
+	if o.traceOut != "" {
+		f, err := os.Create(o.traceOut)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if err := res.Trace.WriteTrace(f); err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Printf("trace written to %s (chrome://tracing or https://ui.perfetto.dev)\n", o.traceOut)
 	}
 }
 

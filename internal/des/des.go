@@ -79,6 +79,13 @@ func (e *Engine) After(d float64, fn func()) {
 	e.At(e.now+d, fn)
 }
 
+// SpanObserver receives attributed virtual-time spans from SleepAs. The
+// tag space is owned by the caller (internal/vtrace uses its Phase
+// constants); [from, to] are absolute virtual times.
+type SpanObserver interface {
+	Span(tag int, from, to float64)
+}
+
 // Proc is a simulated process: a goroutine that runs only when the engine
 // hands it the virtual CPU.
 type Proc struct {
@@ -86,7 +93,12 @@ type Proc struct {
 	name   string
 	resume chan struct{}
 	done   bool
+	obs    SpanObserver
 }
+
+// Observe attaches a span observer to the process (nil detaches). With no
+// observer, SleepAs is exactly Sleep — the zero-overhead fast path.
+func (p *Proc) Observe(o SpanObserver) { p.obs = o }
 
 // Name returns the process name (for diagnostics).
 func (p *Proc) Name() string { return p.name }
@@ -141,6 +153,20 @@ func (p *Proc) Sleep(d float64) {
 	e := p.eng
 	e.At(e.now+d, func() { e.handoff(p) })
 	p.yield()
+}
+
+// SleepAs suspends like Sleep and attributes the elapsed interval to tag
+// on the attached observer — the hook the co-simulation's phase
+// accounting (internal/vtrace) rides on. Without an observer it is
+// exactly Sleep.
+func (p *Proc) SleepAs(tag int, d float64) {
+	if p.obs == nil {
+		p.Sleep(d)
+		return
+	}
+	from := p.eng.now
+	p.Sleep(d)
+	p.obs.Span(tag, from, p.eng.now)
 }
 
 // Wait suspends the process until wake is called with it.

@@ -326,3 +326,51 @@ func quickCheck50(f func(uint32) bool) error {
 type errAt uint32
 
 func (e errAt) Error() string { return "property failed" }
+
+type spanRec struct {
+	tags       []int
+	froms, tos []float64
+}
+
+func (s *spanRec) Span(tag int, from, to float64) {
+	s.tags = append(s.tags, tag)
+	s.froms = append(s.froms, from)
+	s.tos = append(s.tos, to)
+}
+
+func TestSleepAsReportsSpans(t *testing.T) {
+	e := New()
+	rec := &spanRec{}
+	e.Spawn("p", func(p *Proc) {
+		p.Observe(rec)
+		p.SleepAs(3, 1.5)
+		p.Sleep(0.5) // untagged: no span
+		p.SleepAs(1, 2.0)
+	})
+	e.RunAll()
+	if len(rec.tags) != 2 {
+		t.Fatalf("%d spans, want 2", len(rec.tags))
+	}
+	if rec.tags[0] != 3 || rec.froms[0] != 0 || rec.tos[0] != 1.5 {
+		t.Errorf("span 0 = tag %d [%v,%v]", rec.tags[0], rec.froms[0], rec.tos[0])
+	}
+	if rec.tags[1] != 1 || rec.froms[1] != 2.0 || rec.tos[1] != 4.0 {
+		t.Errorf("span 1 = tag %d [%v,%v]", rec.tags[1], rec.froms[1], rec.tos[1])
+	}
+	if e.Now() != 4.0 {
+		t.Errorf("end time = %v", e.Now())
+	}
+}
+
+func TestSleepAsWithoutObserver(t *testing.T) {
+	e := New()
+	var woke float64
+	e.Spawn("p", func(p *Proc) {
+		p.SleepAs(2, 1.25) // no observer attached: plain sleep
+		woke = p.Now()
+	})
+	e.RunAll()
+	if woke != 1.25 {
+		t.Errorf("woke at %v, want 1.25", woke)
+	}
+}

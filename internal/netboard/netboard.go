@@ -170,6 +170,12 @@ func (c Cluster) ValidatePartition(p Partition) error {
 // distinct hop distance (the fabric forwards in parallel), so the cost is
 // the serialization plus the deepest hop chain.
 func (c Cluster) BroadcastTime(host int, u Unit, bytes int) (float64, error) {
+	if len(u.Boards) == 0 {
+		// Without this check an empty unit would silently price as the
+		// serialization cost alone (maxHops == 0) — a partition bug would
+		// look like a fast configuration instead of an invalid one.
+		return 0, fmt.Errorf("netboard: broadcast to empty unit")
+	}
 	maxHops := 0
 	for _, b := range u.Boards {
 		h, err := c.Hops(host, b)

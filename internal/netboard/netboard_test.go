@@ -194,6 +194,47 @@ func TestBroadcastErrors(t *testing.T) {
 	}
 }
 
+// Regression: an empty unit used to price as the serialization cost alone
+// (maxHops == 0) instead of failing — a broken partition looked like the
+// fastest configuration available.
+func TestBroadcastUnitTable(t *testing.T) {
+	c := Production
+	const bytes = 4096
+	cases := []struct {
+		name    string
+		unit    Unit
+		maxHops int // -1 means an error is expected
+	}{
+		{"empty", Unit{Hosts: []int{0}}, -1},
+		{"home-only", c.PerHost().Units[0], 1},
+		{"cross-link", c.WholeCluster().Units[0], 2},
+	}
+	for _, tc := range cases {
+		bt, err := c.BroadcastTime(0, tc.unit, bytes)
+		rt, rerr := c.ReduceTime(0, tc.unit, bytes)
+		if tc.maxHops < 0 {
+			if err == nil {
+				t.Errorf("%s: broadcast accepted empty unit (got %v)", tc.name, bt)
+			}
+			if rerr == nil {
+				t.Errorf("%s: reduce accepted empty unit (got %v)", tc.name, rt)
+			}
+			continue
+		}
+		if err != nil || rerr != nil {
+			t.Errorf("%s: errors %v / %v", tc.name, err, rerr)
+			continue
+		}
+		want := bytes/c.Link.Bandwidth + float64(tc.maxHops)*c.Link.HopDelay
+		if math.Abs(bt-want) > 1e-15 {
+			t.Errorf("%s: broadcast = %v, want %v", tc.name, bt, want)
+		}
+		if rt != bt {
+			t.Errorf("%s: reduce %v != broadcast %v", tc.name, rt, bt)
+		}
+	}
+}
+
 func TestDescribe(t *testing.T) {
 	c := Production
 	out := c.Describe(c.PerHost())

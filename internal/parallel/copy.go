@@ -9,6 +9,7 @@ import (
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
 	"grape6/internal/vec"
+	"grape6/internal/vtrace"
 )
 
 // RunCopy executes the "copy" algorithm (Sections 3.2 and 4.3): each host
@@ -34,6 +35,7 @@ func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	eng := des.New()
 	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
 	res := &Result{}
+	set := newTraceSet(cfg, net)
 
 	// Per-host replicas and backends.
 	replicas := make([]*nbody.System, cfg.Hosts)
@@ -49,7 +51,8 @@ func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	for h := 0; h < cfg.Hosts; h++ {
 		h := h
 		eng.Spawn(fmt.Sprintf("host%d", h), func(p *des.Proc) {
-			copyHost(p, h, cfg, net, replicas[h], backends[h], indices[h], until, res)
+			rec := attachRecorder(p, set, h)
+			copyHost(p, h, cfg, net, replicas[h], backends[h], indices[h], until, res, rec)
 		})
 	}
 	eng.RunAll()
@@ -61,12 +64,15 @@ func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	res.VirtualTime = eng.Now()
 	res.Messages = net.MessagesSent
 	res.Bytes = net.BytesSent
+	if err := finishTrace(set, res, eng.Now()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
 func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 	S *nbody.System, backend hermite.Backend, idx map[int]int,
-	until float64, res *Result) {
+	until float64, res *Result, rec *vtrace.Recorder) {
 
 	m := cfg.Machine
 	round := 0
@@ -98,11 +104,12 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 			}
 			fs := evalForces(&fbuf, backend, t, ids, xp, vp, cfg.Params.Eps)
 
-			// Charge the modelled compute time: frontend work, GRAPE
-			// pipelines over the full stored system, and the DMA link.
-			p.Sleep(m.HostWork(len(mine), S.N) +
-				m.GrapeTimeHost(len(mine), S.N) +
-				m.LinkTime(len(mine)))
+			// Charge the modelled compute time, attributed per phase:
+			// frontend work, GRAPE pipelines over the full stored system,
+			// and the DMA link.
+			p.SleepAs(int(vtrace.HostWork), m.HostWork(len(mine), S.N))
+			p.SleepAs(int(vtrace.Grape), m.GrapeTimeHost(len(mine), S.N))
+			p.SleepAs(int(vtrace.CommSend), m.LinkTime(len(mine)))
 
 			ups = make([]update, 0, len(mine))
 			for k, i := range mine {
@@ -129,6 +136,7 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 		if h == 0 {
 			res.Blocks++
 			res.Steps += int64(len(block))
+			res.noteBlock(round, len(block))
 		}
 		round++
 	}

@@ -10,6 +10,7 @@ import (
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
 	"grape6/internal/vec"
+	"grape6/internal/vtrace"
 )
 
 // pforce is a partial force aligned with the row's block order.
@@ -60,6 +61,7 @@ func RunGrid(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	eng := des.New()
 	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
 	res := &Result{}
+	set := newTraceSet(cfg, net)
 
 	states := make([]*gridState, cfg.Hosts)
 	for i := 0; i < r; i++ {
@@ -82,7 +84,8 @@ func RunGrid(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	for rank := 0; rank < cfg.Hosts; rank++ {
 		rank := rank
 		eng.Spawn(fmt.Sprintf("grid%d", rank), func(p *des.Proc) {
-			gridHost(p, rank, r, cfg, net, states[rank], until, res)
+			rec := attachRecorder(p, set, rank)
+			gridHost(p, rank, r, cfg, net, states[rank], until, res, rec)
 		})
 	}
 	eng.RunAll()
@@ -113,6 +116,9 @@ func RunGrid(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	res.VirtualTime = eng.Now()
 	res.Messages = net.MessagesSent
 	res.Bytes = net.BytesSent
+	if err := finishTrace(set, res, eng.Now()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -136,14 +142,14 @@ const (
 )
 
 func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
-	st *gridState, until float64, res *Result) {
+	st *gridState, until float64, res *Result, rec *vtrace.Recorder) {
 
 	m := cfg.Machine
 	i, j := rank/r, rank%r
 	diag := i*r + i
 	round := 0
 	for {
-		t := allreduceMin(p, net, rank, r*r, round*tagStride+tagMin, st.row.MinTime())
+		t := allreduceMin(p, net, rank, r*r, round*tagStride+tagMin, st.row.MinTime(), rec)
 		if t > until {
 			break
 		}
@@ -165,7 +171,8 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 			for k := range block {
 				partial[k] = pforce{acc: fs[k].Acc, jerk: fs[k].Jerk, pot: fs[k].Pot}
 			}
-			p.Sleep(m.GrapeTimeHost(len(block), st.col.N) + m.LinkTime(len(block)))
+			p.SleepAs(int(vtrace.Grape), m.GrapeTimeHost(len(block), st.col.N))
+			p.SleepAs(int(vtrace.CommSend), m.LinkTime(len(block)))
 		}
 
 		var ups []update
@@ -202,7 +209,7 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 				ups = append(ups, correctParticle(st.row, ix, total[k], t, cfg.Params))
 			}
 			if len(block) > 0 {
-				p.Sleep(m.HostWork(len(block), st.row.N*r))
+				p.SleepAs(int(vtrace.HostWork), m.HostWork(len(block), st.row.N*r))
 				st.backend.Update(st.col, block) // col == row on the diagonal
 			}
 
@@ -216,6 +223,9 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 			}
 
 			res.Steps += int64(len(block))
+			// Diagonal hosts correct disjoint subsets: their sizes sum to
+			// the global block.
+			res.noteBlock(round, len(block))
 			if rank == 0 {
 				res.Blocks++
 			}

@@ -10,6 +10,7 @@ import (
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
 	"grape6/internal/vec"
+	"grape6/internal/vtrace"
 )
 
 // RunHybrid executes the production machine's actual parallel structure
@@ -59,6 +60,7 @@ func RunHybrid(sys *nbody.System, until float64, clusters int, cfg Config) (*Res
 	eng := des.New()
 	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
 	res := &Result{}
+	set := newTraceSet(cfg, net)
 
 	states := make([]*gridState, cfg.Hosts)
 	for k := 0; k < clusters; k++ {
@@ -83,7 +85,8 @@ func RunHybrid(sys *nbody.System, until float64, clusters int, cfg Config) (*Res
 	for rank := 0; rank < cfg.Hosts; rank++ {
 		rank := rank
 		eng.Spawn(fmt.Sprintf("hyb%d", rank), func(p *des.Proc) {
-			hybridHost(p, rank, clusters, r, cfg, net, states[rank], until, res)
+			rec := attachRecorder(p, set, rank)
+			hybridHost(p, rank, clusters, r, cfg, net, states[rank], until, res, rec)
 		})
 	}
 	eng.RunAll()
@@ -115,6 +118,9 @@ func RunHybrid(sys *nbody.System, until float64, clusters int, cfg Config) (*Res
 	res.VirtualTime = eng.Now()
 	res.Messages = net.MessagesSent
 	res.Bytes = net.BytesSent
+	if err := finishTrace(set, res, eng.Now()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
@@ -125,7 +131,7 @@ const (
 )
 
 func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Network,
-	st *gridState, until float64, res *Result) {
+	st *gridState, until float64, res *Result, rec *vtrace.Recorder) {
 
 	m := cfg.Machine
 	perCl := r * r
@@ -135,7 +141,7 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 	diagRank := k*perCl + i*r + i
 	round := 0
 	for {
-		t := allreduceMin(p, net, rank, cfg.Hosts, round*tagStride+tagMin, st.row.MinTime())
+		t := allreduceMin(p, net, rank, cfg.Hosts, round*tagStride+tagMin, st.row.MinTime(), rec)
 		if t > until {
 			break
 		}
@@ -164,7 +170,8 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 			for q := range block {
 				partial[q] = pforce{acc: fs[q].Acc, jerk: fs[q].Jerk, pot: fs[q].Pot}
 			}
-			p.Sleep(m.GrapeTimeHost(len(block), st.col.N) + m.LinkTime(len(block)))
+			p.SleepAs(int(vtrace.Grape), m.GrapeTimeHost(len(block), st.col.N))
+			p.SleepAs(int(vtrace.CommSend), m.LinkTime(len(block)))
 		}
 
 		if rank == diagRank {
@@ -193,7 +200,7 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 				ups = append(ups, correctParticle(st.row, ix, f, t, cfg.Params))
 			}
 			if len(block) > 0 {
-				p.Sleep(m.HostWork(len(block), st.row.N*r))
+				p.SleepAs(int(vtrace.HostWork), m.HostWork(len(block), st.row.N*r))
 				st.backend.Update(st.col, block)
 			}
 
@@ -232,6 +239,9 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 				}
 			}
 			res.Steps += int64(len(block))
+			// Every cluster's diagonal hosts correct disjoint shares of
+			// disjoint subsets: the global block is their sum.
+			res.noteBlock(round, len(block))
 			if rank == 0 {
 				res.Blocks++
 			}

@@ -31,6 +31,7 @@ import (
 	"grape6/internal/perfmodel"
 	"grape6/internal/simnet"
 	"grape6/internal/vec"
+	"grape6/internal/vtrace"
 )
 
 // Config parameterises a parallel run.
@@ -44,12 +45,23 @@ type Config struct {
 	// simulated host (e.g. an emulated GRAPE attachment per host). Nil
 	// uses the float64 DirectBackend. Each host gets its own instance.
 	//
+	// Rank -1 is a sentinel: initForces calls NewBackend(-1) once for a
+	// throwaway backend that computes the common initial forces before
+	// any per-rank instance exists. Implementations that index per-rank
+	// state must treat -1 as "shared setup", not a rank.
+	//
 	// The gbackend (emulated GRAPE) predicts i-particles from its own
 	// j-memory image, so it requires every i-particle to be loaded on the
 	// host evaluating it: that holds for the copy algorithm (full replica
 	// per host) but NOT for ring/grid, whose i-particles visit hosts that
 	// store disjoint subsets — use position-honouring backends there.
 	NewBackend func(rank int) hermite.Backend
+
+	// Record enables per-phase virtual-time accounting (internal/vtrace):
+	// the run fills Result.Breakdown and Result.Trace, and the span-tiling
+	// invariant is checked before the result is returned. When false the
+	// drivers take the nil-recorder fast path — no accounting overhead.
+	Record bool
 }
 
 // backendFor builds the rank's force backend.
@@ -82,6 +94,28 @@ type Result struct {
 	Blocks      int64         // block steps
 	Messages    int64         // host-host messages
 	Bytes       int64         // host-host traffic
+
+	// BlockSizes[r] is the GLOBAL number of particles integrated in block
+	// round r (always recorded; one int per block). It feeds the analytic
+	// cross-check: timing.ReportForBlocks replays the same block structure
+	// through the perfmodel decomposition.
+	BlockSizes []int
+
+	// Breakdown and Trace are populated when Config.Record is set:
+	// per-rank phase totals whose sums equal VirtualTime exactly, and the
+	// full span set for Chrome trace-event export.
+	Breakdown *vtrace.Breakdown
+	Trace     *vtrace.Set
+}
+
+// noteBlock accumulates n into the global size of block round `round`.
+// Simulated processes execute one at a time under the DES discipline, so
+// concurrent-looking calls from different host procs never actually race.
+func (r *Result) noteBlock(round, n int) {
+	for len(r.BlockSizes) <= round {
+		r.BlockSizes = append(r.BlockSizes, 0)
+	}
+	r.BlockSizes[round] += n
 }
 
 // StepsPerSecond returns the individual-step rate in virtual time.
@@ -247,15 +281,55 @@ func gatherUpdates(p *des.Proc, net *simnet.Network, rank, size, tagBase int, lo
 }
 
 // allreduceMin returns the minimum of each host's local value via a
-// butterfly exchange.
-func allreduceMin(p *des.Proc, net *simnet.Network, rank, size, tagBase int, local float64) float64 {
+// butterfly exchange. Blocked-receive time inside the butterfly is the
+// block-time agreement barrier, so it is attributed to the Sync phase on
+// rec (nil rec: no accounting).
+func allreduceMin(p *des.Proc, net *simnet.Network, rank, size, tagBase int, local float64, rec *vtrace.Recorder) float64 {
+	old := rec.SetWait(vtrace.Sync)
 	v := net.Butterfly(p, rank, size, tagBase, 8, local, func(a, b interface{}) interface{} {
 		if b.(float64) < a.(float64) {
 			return b
 		}
 		return a
 	})
+	rec.SetWait(old)
 	return v.(float64)
+}
+
+// newTraceSet builds the accounting set for a run, attaching it to the
+// network — or returns nil (and attaches nothing) when recording is off.
+func newTraceSet(cfg Config, net *simnet.Network) *vtrace.Set {
+	if !cfg.Record {
+		return nil
+	}
+	set := vtrace.NewSet(cfg.Hosts)
+	net.Observe(set)
+	return set
+}
+
+// attachRecorder wires rank h's recorder (if any) into the process so
+// SleepAs spans land on it, and returns it for the driver's own calls.
+func attachRecorder(p *des.Proc, set *vtrace.Set, h int) *vtrace.Recorder {
+	rec := set.Recorder(h)
+	if rec != nil {
+		p.Observe(rec)
+	}
+	return rec
+}
+
+// finishTrace closes the accounting at the engine end time, enforces the
+// span-tiling invariant on every rank, and publishes the breakdown.
+func finishTrace(set *vtrace.Set, res *Result, end float64) error {
+	if set == nil {
+		return nil
+	}
+	set.Close(end)
+	if err := set.Check(end); err != nil {
+		return err
+	}
+	res.Trace = set
+	res.Breakdown = set.Breakdown()
+	return nil
 }
 
 // sortByID orders updates deterministically (hosts may receive them in

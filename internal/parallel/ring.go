@@ -10,6 +10,7 @@ import (
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
 	"grape6/internal/vec"
+	"grape6/internal/vtrace"
 )
 
 // ipacket is a predicted i-particle circulating around the ring,
@@ -53,6 +54,7 @@ func RunRing(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	eng := des.New()
 	net := simnet.New(eng, cfg.NIC, cfg.Hosts)
 	res := &Result{}
+	set := newTraceSet(cfg, net)
 
 	// Disjoint contiguous ownership.
 	parts := make([]*nbody.System, cfg.Hosts)
@@ -69,15 +71,24 @@ func RunRing(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 		backends[h].Load(parts[h])
 	}
 
+	errs := make([]error, cfg.Hosts)
 	done := make([]*nbody.System, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
 		h := h
 		eng.Spawn(fmt.Sprintf("ring%d", h), func(p *des.Proc) {
-			ringHost(p, h, cfg, net, parts[h], backends[h], until, res)
+			rec := attachRecorder(p, set, h)
+			errs[h] = ringHost(p, h, cfg, net, parts[h], backends[h], until, res, rec)
 			done[h] = parts[h]
 		})
 	}
 	eng.RunAll()
+	// A host that bailed out with an error stops participating, which
+	// deadlocks its neighbours — report the root cause, not the symptom.
+	for h, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("parallel: ring host %d: %w", h, err)
+		}
+	}
 	if eng.Live() != 0 {
 		return nil, fmt.Errorf("parallel: %d ring hosts deadlocked", eng.Live())
 	}
@@ -104,11 +115,36 @@ func RunRing(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	res.VirtualTime = eng.Now()
 	res.Messages = net.MessagesSent
 	res.Bytes = net.BytesSent
+	if err := finishTrace(set, res, eng.Now()); err != nil {
+		return nil, err
+	}
 	return res, nil
 }
 
+// checkRingReturn verifies that the circulated packet list came home
+// intact: the same number of packets AND, for each one, that the id it
+// carries matches the owner slot it claims. Comparing lengths alone (the
+// pre-fix behaviour) would let a tag or stage-count bug that preserves
+// length silently correct the wrong particles with the wrong forces.
+func checkRingReturn(S *nbody.System, sent, returned []ipacket) error {
+	if len(returned) != len(sent) {
+		return fmt.Errorf("ring packets lost: sent %d, received %d after full circulation", len(sent), len(returned))
+	}
+	for k, pk := range returned {
+		if pk.ownerIx < 0 || pk.ownerIx >= S.N {
+			return fmt.Errorf("ring packet %d returned with owner slot %d out of range [0,%d)", k, pk.ownerIx, S.N)
+		}
+		if S.ID[pk.ownerIx] != pk.id {
+			return fmt.Errorf("ring packet %d returned with id %d, but owner slot %d holds particle %d",
+				k, pk.id, pk.ownerIx, S.ID[pk.ownerIx])
+		}
+	}
+	return nil
+}
+
 func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
-	S *nbody.System, backend hermite.Backend, until float64, res *Result) {
+	S *nbody.System, backend hermite.Backend, until float64, res *Result,
+	rec *vtrace.Recorder) error {
 
 	m := cfg.Machine
 	next := (h + 1) % cfg.Hosts
@@ -119,9 +155,9 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 		if S.N > 0 {
 			local = S.MinTime()
 		}
-		t := allreduceMin(p, net, h, cfg.Hosts, round*4096+2048, local)
+		t := allreduceMin(p, net, h, cfg.Hosts, round*4096+2048, local, rec)
 		if t > until {
-			break
+			return nil
 		}
 
 		// Build this host's packets.
@@ -150,23 +186,25 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 					held[k].jerk = held[k].jerk.Add(fs[k].Jerk)
 					held[k].pot += fs[k].Pot
 				}
-				p.Sleep(m.GrapeTimeHost(len(held), S.N) + m.LinkTime(len(held)))
+				p.SleepAs(int(vtrace.Grape), m.GrapeTimeHost(len(held), S.N))
+				p.SleepAs(int(vtrace.CommSend), m.LinkTime(len(held)))
 			}
 			net.Send(h, next, round*4096+stage, len(held)*ipacketBytes, held)
 			msg := net.Recv(p, h, round*4096+stage)
 			held = msg.Payload.([]ipacket)
 		}
 
-		// After p hops the packets are home with complete forces.
-		if len(held) != len(packets) {
-			panic("parallel: ring packets lost")
+		// After p hops the packets are home with complete forces — verify
+		// identity, not just count.
+		if err := checkRingReturn(S, packets, held); err != nil {
+			return err
 		}
 		for _, pk := range held {
 			f := direct.Force{Acc: pk.acc, Jerk: pk.jerk, Pot: pk.pot, NN: -1}
 			correctParticle(S, pk.ownerIx, f, t, cfg.Params)
 		}
 		if len(held) > 0 {
-			p.Sleep(m.HostWork(len(held), S.N*cfg.Hosts))
+			p.SleepAs(int(vtrace.HostWork), m.HostWork(len(held), S.N*cfg.Hosts))
 			idxs := make([]int, len(held))
 			for k, pk := range held {
 				idxs[k] = pk.ownerIx
@@ -178,6 +216,7 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 			res.Blocks++
 		}
 		res.Steps += int64(len(held)) // each host counts its own
+		res.noteBlock(round, len(held))
 		round++
 	}
 }

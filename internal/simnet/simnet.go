@@ -82,6 +82,18 @@ type mailKey struct {
 	tag int
 }
 
+// Observer receives network accounting events; internal/vtrace
+// implements it structurally. All times are virtual.
+type Observer interface {
+	// MessageSent fires once per Send: queued is the NIC serialization
+	// queueing delay (how long the transfer waited behind earlier sends
+	// from the same rank before its own serialization started).
+	MessageSent(from, to, tag, bytes int, queued float64)
+	// RecvBlocked fires when a Recv that found an empty mailbox returns:
+	// the receiving process was blocked from `from` until `until`.
+	RecvBlocked(to, tag int, from, until float64)
+}
+
 // Network connects n ranks with a shared NIC profile.
 type Network struct {
 	eng  *des.Engine
@@ -89,6 +101,7 @@ type Network struct {
 	n    int
 	mail map[mailKey][]Message
 	wait map[mailKey]*des.Waiter
+	obs  Observer
 
 	// busyUntil serializes each rank's outgoing transfers.
 	busyUntil []float64
@@ -97,6 +110,10 @@ type Network struct {
 	MessagesSent int64
 	BytesSent    int64
 }
+
+// Observe attaches an accounting observer (nil detaches). With no
+// observer the hooks cost one nil check per event.
+func (net *Network) Observe(o Observer) { net.obs = o }
 
 // New builds a network of n ranks on the given engine.
 func New(eng *des.Engine, nic NIC, n int) *Network {
@@ -154,6 +171,9 @@ func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
 	msg := Message{From: from, Tag: tag, Bytes: bytes, Payload: payload, SentAt: now}
 	net.MessagesSent++
 	net.BytesSent += int64(bytes)
+	if net.obs != nil {
+		net.obs.MessageSent(from, to, tag, bytes, start-now)
+	}
 
 	key := mailKey{to: to, tag: tag}
 	net.eng.At(arrive, func() {
@@ -172,17 +192,28 @@ func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
 func (net *Network) Recv(p *des.Proc, to, tag int) Message {
 	net.checkRank(to)
 	key := mailKey{to: to, tag: tag}
-	for len(net.mail[key]) == 0 {
-		if net.wait[key] != nil {
-			panic(fmt.Sprintf("simnet: second receiver on rank %d tag %d", to, tag))
+	if len(net.mail[key]) == 0 {
+		blockedFrom := net.eng.Now()
+		for len(net.mail[key]) == 0 {
+			if net.wait[key] != nil {
+				panic(fmt.Sprintf("simnet: second receiver on rank %d tag %d", to, tag))
+			}
+			w := p.NewWaiter()
+			net.wait[key] = w
+			w.Park()
 		}
-		w := p.NewWaiter()
-		net.wait[key] = w
-		w.Park()
+		if net.obs != nil {
+			net.obs.RecvBlocked(to, tag, blockedFrom, net.eng.Now())
+		}
 	}
 	q := net.mail[key]
 	msg := q[0]
 	copy(q, q[1:])
+	// Zero the vacated tail slot: the shift leaves a duplicate Message —
+	// payload reference included — live in the backing array, which would
+	// keep delivered payloads reachable for as long as the mailbox
+	// persists.
+	q[len(q)-1] = Message{}
 	net.mail[key] = q[:len(q)-1]
 	return msg
 }

@@ -318,3 +318,108 @@ func TestKernelBypassProfile(t *testing.T) {
 		t.Error("kernel bypass on old hardware should not beat the tuned NIC")
 	}
 }
+
+// Regression: the dequeue shift used to leave a duplicate of the last
+// Message — payload reference included — live in the mailbox's backing
+// array, pinning delivered payloads for the life of the run.
+func TestRecvZeroesVacatedSlot(t *testing.T) {
+	eng := des.New()
+	net := New(eng, NIC{RTT: 10e-6, Bandwidth: 1e9}, 2)
+	var tail Message
+	eng.Spawn("recv", func(p *des.Proc) {
+		p.Sleep(1e-3) // let both messages land in the mailbox first
+		before := net.mail[mailKey{to: 1, tag: 0}]
+		if len(before) != 2 {
+			t.Errorf("mailbox holds %d messages before recv, want 2", len(before))
+			return
+		}
+		net.Recv(p, 1, 0)
+		tail = before[1] // vacated slot of the original backing array
+	})
+	eng.Spawn("send", func(p *des.Proc) {
+		net.Send(0, 1, 0, 100, "first")
+		net.Send(0, 1, 0, 100, "second")
+	})
+	eng.RunAll()
+	if tail != (Message{}) {
+		t.Errorf("vacated slot still holds %+v, want zero Message", tail)
+	}
+}
+
+type obsLog struct {
+	sends []struct {
+		from, to, tag, bytes int
+		queued               float64
+	}
+	blocks []struct {
+		to, tag     int
+		from, until float64
+	}
+}
+
+func (o *obsLog) MessageSent(from, to, tag, bytes int, queued float64) {
+	o.sends = append(o.sends, struct {
+		from, to, tag, bytes int
+		queued               float64
+	}{from, to, tag, bytes, queued})
+}
+
+func (o *obsLog) RecvBlocked(to, tag int, from, until float64) {
+	o.blocks = append(o.blocks, struct {
+		to, tag     int
+		from, until float64
+	}{to, tag, from, until})
+}
+
+func TestObserverMessageSentQueueing(t *testing.T) {
+	eng := des.New()
+	nic := NIC{RTT: 0, Bandwidth: 1e6} // 1 s per MB
+	net := New(eng, nic, 3)
+	obs := &obsLog{}
+	net.Observe(obs)
+	eng.Spawn("r1", func(p *des.Proc) { net.Recv(p, 1, 0) })
+	eng.Spawn("r2", func(p *des.Proc) { net.Recv(p, 2, 0) })
+	eng.Spawn("send", func(p *des.Proc) {
+		net.Send(0, 1, 0, 1_000_000, nil)
+		net.Send(0, 2, 0, 1_000_000, nil) // queued 1 s behind the first
+	})
+	eng.RunAll()
+	if len(obs.sends) != 2 {
+		t.Fatalf("%d send events, want 2", len(obs.sends))
+	}
+	if obs.sends[0].queued != 0 {
+		t.Errorf("first send queued %v, want 0", obs.sends[0].queued)
+	}
+	if math.Abs(obs.sends[1].queued-1.0) > 1e-9 {
+		t.Errorf("second send queued %v, want 1 s", obs.sends[1].queued)
+	}
+	if obs.sends[1].from != 0 || obs.sends[1].to != 2 || obs.sends[1].bytes != 1_000_000 {
+		t.Errorf("second send event = %+v", obs.sends[1])
+	}
+}
+
+func TestObserverRecvBlockedInterval(t *testing.T) {
+	eng := des.New()
+	net := New(eng, NS83820, 2)
+	obs := &obsLog{}
+	net.Observe(obs)
+	eng.Spawn("recv", func(p *des.Proc) {
+		p.Sleep(1e-4)
+		net.Recv(p, 0, 1) // blocks from 1e-4 until delivery
+		net.Recv(p, 0, 2) // already in the mailbox: no block event
+	})
+	eng.Spawn("send", func(p *des.Proc) {
+		p.Sleep(1e-3)
+		net.Send(1, 0, 1, 0, nil)
+		net.Send(1, 0, 2, 0, nil)
+	})
+	eng.RunAll()
+	if len(obs.blocks) != 1 {
+		t.Fatalf("%d block events, want 1 (second recv was immediate)", len(obs.blocks))
+	}
+	b := obs.blocks[0]
+	want := 1e-3 + NS83820.RTT/2
+	if b.to != 0 || b.tag != 1 || math.Abs(b.from-1e-4) > 1e-12 || math.Abs(b.until-want) > 1e-12 {
+		t.Errorf("block event = %+v, want to=0 tag=1 [1e-4, %v]", b, want)
+	}
+}

@@ -11,6 +11,7 @@ package timing
 import (
 	"fmt"
 
+	"grape6/internal/hermite"
 	"grape6/internal/perfmodel"
 	"grape6/internal/sched"
 	"grape6/internal/units"
@@ -98,6 +99,19 @@ func Simulate(m perfmodel.Machine, tr *sched.Trace) Report {
 		rep.Steps += int64(b.Size)
 	}
 	return rep
+}
+
+// ReportForBlocks replays an explicit sequence of block sizes — such as
+// the per-round global block sizes a co-simulation run records — on the
+// machine. It is the bridge between the event-driven co-simulation and
+// the analytic model: both price the same block structure, so their
+// component totals can be cross-checked.
+func ReportForBlocks(m perfmodel.Machine, n int, sizes []int) Report {
+	tr := &sched.Trace{N: n, Blocks: make([]hermite.BlockStat, len(sizes))}
+	for i, s := range sizes {
+		tr.Blocks[i] = hermite.BlockStat{Size: s}
+	}
+	return Simulate(m, tr)
 }
 
 // Application describes a production run for the Section 5 accounting.

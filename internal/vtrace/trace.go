@@ -1,0 +1,65 @@
+package vtrace
+
+import (
+	"encoding/json"
+	"io"
+	"strconv"
+)
+
+// Chrome trace-event JSON export (the "Trace Event Format" consumed by
+// chrome://tracing and Perfetto): one process (pid) per rank, one
+// complete-duration ("X") event per non-idle span, timestamps in VIRTUAL
+// microseconds. Idle fill spans are omitted — a gap in the track reads
+// as idle in the viewer, and leaving them out keeps large traces light.
+
+// traceEvent is one entry of the traceEvents array.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the JSON-object container form of the format.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace writes the set's spans as Chrome trace-event JSON.
+func (s *Set) WriteTrace(w io.Writer) error {
+	const usec = 1e6 // virtual seconds → trace microseconds
+	f := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	if s != nil {
+		for rank, r := range s.recs {
+			f.TraceEvents = append(f.TraceEvents, traceEvent{
+				Name: "process_name", Ph: "M", Pid: rank,
+				Args: map[string]any{"name": rankName(rank)},
+			})
+			for _, sp := range r.Spans() {
+				if sp.Phase == Idle {
+					continue
+				}
+				f.TraceEvents = append(f.TraceEvents, traceEvent{
+					Name: sp.Phase.String(),
+					Cat:  "vtrace",
+					Ph:   "X",
+					Ts:   sp.Start * usec,
+					Dur:  (sp.End - sp.Start) * usec,
+					Pid:  rank,
+					Tid:  0,
+				})
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(f)
+}
+
+func rankName(rank int) string {
+	return "rank " + strconv.Itoa(rank)
+}

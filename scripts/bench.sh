@@ -1,19 +1,21 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr4.json so future PRs can track the trajectory.
+# BENCH_pr5.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
 # The tracked set covers the block-step hot path (predictor variants,
 # small-block steps, raw chip throughput), the Fig. 13 headline run whose
-# model Gflops double as a regression canary for the cycle model, and the
-# cache-blocked force kernel: full-depth chip and array passes plus the
-# j-tile-length sweep (BenchmarkForceTiled) that validates the Fig. 14
-# cache-model tile derivation on the actual host.
+# model Gflops double as a regression canary for the cycle model, the
+# cache-blocked force kernel (full-depth chip and array passes plus the
+# j-tile-length sweep validating the Fig. 14 cache-model tile derivation),
+# and the multi-node virtual-time sweeps (ring at 2-16 hosts per NIC,
+# hybrid at 1-4 clusters) whose per-phase breakdown totals track the
+# co-simulation's communication accounting.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr4.json}"
+out="${1:-BENCH_pr5.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -29,6 +31,13 @@ go test ./internal/board -run '^$' \
 	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
 	-benchmem -benchtime=1s | tee -a "$tmp"
 
+# The co-simulations are deterministic in virtual time, so one iteration
+# per configuration is the measurement — the metrics of interest are the
+# virtual-time phase totals, not Go wall-clock.
+go test . -run '^$' \
+	-bench 'BenchmarkCosimRing$|BenchmarkCosimHybrid$' \
+	-benchtime=1x | tee -a "$tmp"
+
 # Parse `go test -bench` lines into JSON. Fields per line:
 #   name iters ns/op [value unit]... [B/op] [allocs/op]
 awk '
@@ -37,10 +46,14 @@ BEGIN { printf "[\n"; first = 1 }
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	ns = ""; allocs = ""; gflops = ""
+	vtime = ""; comm = ""; sync = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i+1) == "ns/op") ns = $i
 		if ($(i+1) == "allocs/op") allocs = $i
 		if ($(i+1) ~ /^Gflops/) gflops = $i
+		if ($(i+1) == "vtime_s") vtime = $i
+		if ($(i+1) == "comm_s") comm = $i
+		if ($(i+1) == "sync_s") sync = $i
 	}
 	if (ns == "") next
 	if (!first) printf ",\n"
@@ -48,6 +61,9 @@ BEGIN { printf "[\n"; first = 1 }
 	printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
 	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
 	if (gflops != "") printf ", \"model_gflops\": %s", gflops
+	if (vtime != "") printf ", \"vtime_s\": %s", vtime
+	if (comm != "") printf ", \"comm_s\": %s", comm
+	if (sync != "") printf ", \"sync_s\": %s", sync
 	printf "}"
 }
 END { printf "\n]\n" }
