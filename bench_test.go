@@ -424,3 +424,27 @@ func BenchmarkCosimHybrid(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkCosimFullMachine is the Figure 19 flagship: the complete
+// 64-board × 32-chip machine as a 4-cluster hybrid co-simulation over 256
+// ranks (8 chips each), N=2048, gigabit ethernet, P4 frontends. One
+// iteration is a full t=1/32 integration — run with -benchtime=1x; the
+// wall-clock per iteration is the number the allocation-free DES rework
+// drives (< 10 s is the acceptance bar on one core).
+func BenchmarkCosimFullMachine(b *testing.B) {
+	const clusters, ranks = 4, 256
+	m, err := perfmodel.ShardedFleet(clusters, ranks, 64, 32, simnet.Intel82540EM, perfmodel.P4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := parallel.Config{
+		Hosts:   ranks,
+		NIC:     simnet.Intel82540EM,
+		Machine: m,
+		Params:  hermite.DefaultParams(units.Softening(units.SoftConstant, 2048)),
+		Record:  true,
+	}
+	cosimBench(b, func() (*parallel.Result, error) {
+		return parallel.RunHybrid(model.Plummer(2048, xrand.New(1)), 0.03125, clusters, cfg)
+	})
+}

@@ -52,10 +52,46 @@ func main() {
 		algo      = flag.String("algo", "copy", "co-simulation algorithm: copy, ring, grid, hybrid")
 		clusters  = flag.Int("clusters", 1, "co-simulation cluster count (algo=hybrid)")
 		nicName   = flag.String("nic", "ns83820", "co-simulation NIC: ns83820, tigon2, intel82540em, myrinet, bypass")
+		boards    = flag.Int("boards", 0, "emulate a boards × chips GRAPE-6 fleet sharded over the hosts (needs -chips)")
+		chips     = flag.Int("chips", 0, "pipeline chips per emulated board (needs -boards)")
+		fullMach  = flag.Bool("fullmachine", false, "preset: the full 64-board × 32-chip machine as a 4-cluster × 64-host hybrid co-simulation")
 		breakdown = flag.Bool("breakdown", false, "print the per-rank virtual-time phase breakdown (needs -hosts)")
 		traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON of the co-simulation here (needs -hosts)")
 	)
 	flag.Parse()
+
+	if *fullMach {
+		// The paper's flagship machine: 2048 chips in 4 host clusters,
+		// gigabit ethernet, P4-class frontends (Section 6). 256 ranks keep
+		// the hybrid r² constraint while sharding 8 chips to each.
+		set := func(name string) bool {
+			found := false
+			flag.Visit(func(f *flag.Flag) {
+				if f.Name == name {
+					found = true
+				}
+			})
+			return found
+		}
+		if !set("hosts") {
+			*hosts = 256
+		}
+		if !set("algo") {
+			*algo = "hybrid"
+		}
+		if !set("clusters") {
+			*clusters = 4
+		}
+		if !set("nic") {
+			*nicName = "intel82540em"
+		}
+		if !set("boards") {
+			*boards = 64
+		}
+		if !set("chips") {
+			*chips = 32
+		}
+	}
 
 	kind := units.SoftConstant
 	switch *softening {
@@ -89,9 +125,13 @@ func main() {
 			n: *n, modelName: *modelName, kingW0: *kingW0, seed: *seed,
 			kind: kind, tEnd: *tEnd, eta: *eta,
 			hosts: *hosts, algo: *algo, clusters: *clusters,
-			nicName: *nicName, breakdown: *breakdown, traceOut: *traceOut,
+			nicName: *nicName, boards: *boards, chips: *chips, fullMach: *fullMach,
+			breakdown: *breakdown, traceOut: *traceOut,
 		})
 		return
+	}
+	if *fullMach || *boards != 0 || *chips != 0 {
+		fatal("-fullmachine/-boards/-chips need the co-simulation mode (-hosts)")
 	}
 	if *breakdown || *traceOut != "" {
 		fatal("-breakdown and -trace need the co-simulation mode (-hosts)")
@@ -202,6 +242,9 @@ type cosimOpts struct {
 	algo      string
 	clusters  int
 	nicName   string
+	boards    int
+	chips     int
+	fullMach  bool
 	breakdown bool
 	traceOut  string
 }
@@ -230,21 +273,45 @@ func runCosim(o cosimOpts) {
 	if !ok {
 		fatal("unknown NIC %q", o.nicName)
 	}
+	if (o.boards > 0) != (o.chips > 0) {
+		fatal("-boards and -chips must be given together")
+	}
 	sys := buildSystem(o.modelName, o.n, o.kingW0, o.seed)
 	eps := units.Softening(o.kind, sys.N)
 	params := hermite.DefaultParams(eps)
 	if o.eta > 0 {
 		params.Eta = o.eta
 	}
+	host := perfmodel.Athlon
+	if o.fullMach {
+		host = perfmodel.P4
+	}
+	machine := perfmodel.SingleNode(nic, host)
+	if o.boards > 0 {
+		cl := 1
+		if o.algo == "hybrid" {
+			cl = o.clusters
+		}
+		m, err := perfmodel.ShardedFleet(cl, o.hosts, o.boards, o.chips, nic, host)
+		if err != nil {
+			fatal("%v", err)
+		}
+		machine = m
+	}
 	cfg := parallel.Config{
 		Hosts:   o.hosts,
 		NIC:     nic,
-		Machine: perfmodel.SingleNode(nic, perfmodel.Athlon),
+		Machine: machine,
 		Params:  params,
 		Record:  o.breakdown || o.traceOut != "",
 	}
 	fmt.Printf("cosim model=%s N=%d algo=%s hosts=%d nic=%s eps=%.6g eta=%g\n",
 		o.modelName, sys.N, o.algo, o.hosts, nic.Name, eps, params.Eta)
+	if o.boards > 0 {
+		fmt.Printf("emulating %d boards × %d chips = %d pipeline chips (%d per rank, %.4g peak Tflops)\n",
+			o.boards, o.chips, o.boards*o.chips,
+			machine.BoardsPerHost*machine.HW.ChipsPerBoard, machine.PeakFlops()/1e12)
+	}
 
 	var res *parallel.Result
 	var err error
@@ -274,12 +341,10 @@ func runCosim(o cosimOpts) {
 
 		// Analytic cross-check: replay the recorded global block sizes
 		// through the perfmodel decomposition of the same machine shape.
-		am := perfmodel.Machine{
-			Name: "cosim cross-check", Clusters: o.clusters,
-			HostsPerCl: o.hosts / o.clusters, BoardsPerHost: 4,
-			HW: perfmodel.ProductionHW, Link: perfmodel.PCI,
-			NIC: nic, Host: perfmodel.Athlon,
-		}
+		am := cfg.Machine
+		am.Name = "cosim cross-check"
+		am.Clusters = o.clusters
+		am.HostsPerCl = o.hosts / o.clusters
 		if o.algo != "hybrid" {
 			am.Clusters = 1
 			am.HostsPerCl = o.hosts

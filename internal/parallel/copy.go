@@ -40,7 +40,7 @@ func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	// Per-host replicas and backends.
 	replicas := make([]*nbody.System, cfg.Hosts)
 	backends := make([]hermite.Backend, cfg.Hosts)
-	indices := make([]map[int]int, cfg.Hosts)
+	indices := make([]idIndex, cfg.Hosts)
 	for h := 0; h < cfg.Hosts; h++ {
 		replicas[h] = sys.Clone()
 		backends[h] = cfg.backendFor(h)
@@ -71,36 +71,42 @@ func RunCopy(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 }
 
 func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
-	S *nbody.System, backend hermite.Backend, idx map[int]int,
+	S *nbody.System, backend hermite.Backend, idx idIndex,
 	until float64, res *Result, rec *vtrace.Recorder) {
 
 	m := cfg.Machine
 	round := 0
 	var fbuf []direct.Force
+	// Per-round scratch reused across the run. ups is reusable too: only
+	// private copies of it travel through the network (gatherUpdates ships
+	// a fresh copy per exchange round).
+	var block, mine, ids, changed []int
+	var xp, vp []vec.V3
+	var ups []update
 	for {
 		t := S.MinTime()
 		if t > until {
 			break
 		}
-		block := blockAt(S, t)
+		block = blockAppend(block[:0], S, t)
 
 		// This host's share of the block.
-		var mine []int
+		mine = mine[:0]
 		for _, i := range block {
 			if S.ID[i]%cfg.Hosts == h {
 				mine = append(mine, i)
 			}
 		}
 
-		var ups []update
+		ups = ups[:0]
 		if len(mine) > 0 {
-			ids := make([]int, len(mine))
-			xp := make([]vec.V3, len(mine))
-			vp := make([]vec.V3, len(mine))
-			for k, i := range mine {
-				ids[k] = S.ID[i]
+			ids, xp, vp = ids[:0], xp[:0], vp[:0]
+			for _, i := range mine {
+				ids = append(ids, S.ID[i])
 				dt := t - S.Time[i]
-				xp[k], vp[k] = hermite.Predict(S.Pos[i], S.Vel[i], S.Acc[i], S.Jerk[i], S.Snap[i], dt)
+				x1, v1 := hermite.Predict(S.Pos[i], S.Vel[i], S.Acc[i], S.Jerk[i], S.Snap[i], dt)
+				xp = append(xp, x1)
+				vp = append(vp, v1)
 			}
 			fs := evalForces(&fbuf, backend, t, ids, xp, vp, cfg.Params.Eps)
 
@@ -111,7 +117,6 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 			p.SleepAs(int(vtrace.Grape), m.GrapeTimeHost(len(mine), S.N))
 			p.SleepAs(int(vtrace.CommSend), m.LinkTime(len(mine)))
 
-			ups = make([]update, 0, len(mine))
 			for k, i := range mine {
 				ups = append(ups, correctParticle(S, i, fs[k], t, cfg.Params))
 			}
@@ -127,9 +132,10 @@ func copyHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 			}
 		}
 		// Refresh the backend for every updated particle.
-		changed := make([]int, 0, len(all))
+		changed = changed[:0]
 		for _, u := range all {
-			changed = append(changed, idx[u.id])
+			ci, _ := idx.slot(u.id)
+			changed = append(changed, ci)
 		}
 		backend.Update(S, changed)
 

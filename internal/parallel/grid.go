@@ -122,14 +122,26 @@ func RunGrid(sys *nbody.System, until float64, cfg Config) (*Result, error) {
 	return res, nil
 }
 
-// gridState is one grid host's storage.
+// gridState is one grid host's storage (shared with the hybrid driver).
 type gridState struct {
 	row     *nbody.System // copy of subset i
 	col     *nbody.System // copy of subset j (same object on the diagonal)
-	rowIdx  map[int]int
-	colIdx  map[int]int
+	rowIdx  idIndex
+	colIdx  idIndex
 	backend hermite.Backend // loaded with the column subset
 	fbuf    []direct.Force  // force-result buffer reused across blocks
+
+	// Per-round scratch reused across block steps. Only buffers that are
+	// NEVER shipped as message payloads live here — payload slices (ups,
+	// partial) must stay freshly allocated, since simnet delivers them by
+	// reference at a later virtual time.
+	block   []int
+	mine    []int // hybrid: this cluster's share of the block
+	ids     []int
+	xs, vs  []vec.V3
+	parts   [][]pforce
+	total   []direct.Force
+	changed []int
 }
 
 // Per-round message tags.
@@ -153,21 +165,22 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 		if t > until {
 			break
 		}
-		block := blockAt(st.row, t) // identical across row i
+		st.block = blockAppend(st.block[:0], st.row, t)
+		block := st.block // identical across row i
 
 		// Predict the block and compute partial forces from subset j.
 		partial := make([]pforce, len(block))
 		if len(block) > 0 {
-			ids := make([]int, len(block))
-			xs := make([]vec.V3, len(block))
-			vs := make([]vec.V3, len(block))
-			for k, ix := range block {
-				ids[k] = st.row.ID[ix]
+			st.ids, st.xs, st.vs = st.ids[:0], st.xs[:0], st.vs[:0]
+			for _, ix := range block {
+				st.ids = append(st.ids, st.row.ID[ix])
 				dt := t - st.row.Time[ix]
-				xs[k], vs[k] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
+				xp, vp := hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
 					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
+				st.xs = append(st.xs, xp)
+				st.vs = append(st.vs, vp)
 			}
-			fs := evalForces(&st.fbuf, st.backend, t, ids, xs, vs, cfg.Params.Eps)
+			fs := evalForces(&st.fbuf, st.backend, t, st.ids, st.xs, st.vs, cfg.Params.Eps)
 			for k := range block {
 				partial[k] = pforce{acc: fs[k].Acc, jerk: fs[k].Jerk, pot: fs[k].Pot}
 			}
@@ -179,7 +192,10 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 		if rank == diag {
 			// Gather partials from the row (including our own), sum in
 			// fixed column order for determinism.
-			parts := make([][]pforce, r)
+			if st.parts == nil {
+				st.parts = make([][]pforce, r)
+			}
+			parts := st.parts
 			parts[j] = partial
 			for jj := 0; jj < r; jj++ {
 				if jj == j {
@@ -188,7 +204,7 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 				msg := net.Recv(p, rank, round*tagStride+tagPartial+jj)
 				parts[jj] = msg.Payload.([]pforce)
 			}
-			total := make([]direct.Force, len(block))
+			st.total = st.total[:0]
 			for k := range block {
 				var f direct.Force
 				f.NN = -1
@@ -200,8 +216,9 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 					f.Jerk = f.Jerk.Add(parts[jj][k].jerk)
 					f.Pot += parts[jj][k].pot
 				}
-				total[k] = f
+				st.total = append(st.total, f)
 			}
+			total := st.total
 
 			// Correct on the diagonal host.
 			ups = make([]update, 0, len(block))
@@ -220,6 +237,9 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 				}
 				net.Send(rank, i*r+k, round*tagStride+tagRowUpd, len(ups)*updateBytes, ups)
 				net.Send(rank, k*r+i, round*tagStride+tagColUpd, len(ups)*updateBytes, ups)
+			}
+			for jj := range parts {
+				parts[jj] = nil // unpin the received partials until next round
 			}
 
 			res.Steps += int64(len(block))
@@ -244,11 +264,13 @@ func gridHost(p *des.Proc, rank, r int, cfg Config, net *simnet.Network,
 			// apply to the column copy feeding the force backend.
 			colMsg := net.Recv(p, rank, round*tagStride+tagColUpd)
 			colUps := colMsg.Payload.([]update)
-			changed := make([]int, 0, len(colUps))
+			changed := st.changed[:0]
 			for _, u := range colUps {
 				applyUpdate(st.col, st.colIdx, u)
-				changed = append(changed, st.colIdx[u.id])
+				ci, _ := st.colIdx.slot(u.id)
+				changed = append(changed, ci)
 			}
+			st.changed = changed
 			if len(changed) > 0 {
 				st.backend.Update(st.col, changed)
 			}

@@ -9,7 +9,6 @@ import (
 	"grape6/internal/hermite"
 	"grape6/internal/nbody"
 	"grape6/internal/simnet"
-	"grape6/internal/vec"
 	"grape6/internal/vtrace"
 )
 
@@ -146,27 +145,28 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 			break
 		}
 		// Full block members of subset i, then this cluster's share.
-		rowBlock := blockAt(st.row, t)
-		var block []int
-		for _, ix := range rowBlock {
+		st.block = blockAppend(st.block[:0], st.row, t)
+		st.mine = st.mine[:0]
+		for _, ix := range st.block {
 			if st.row.ID[ix]%clusters == k {
-				block = append(block, ix)
+				st.mine = append(st.mine, ix)
 			}
 		}
+		block := st.mine
 
 		// Partial forces from subset j for the cluster's share.
 		partial := make([]pforce, len(block))
 		if len(block) > 0 {
-			ids := make([]int, len(block))
-			xs := make([]vec.V3, len(block))
-			vs := make([]vec.V3, len(block))
-			for q, ix := range block {
-				ids[q] = st.row.ID[ix]
+			st.ids, st.xs, st.vs = st.ids[:0], st.xs[:0], st.vs[:0]
+			for _, ix := range block {
+				st.ids = append(st.ids, st.row.ID[ix])
 				dt := t - st.row.Time[ix]
-				xs[q], vs[q] = hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
+				xp, vp := hermite.Predict(st.row.Pos[ix], st.row.Vel[ix],
 					st.row.Acc[ix], st.row.Jerk[ix], st.row.Snap[ix], dt)
+				st.xs = append(st.xs, xp)
+				st.vs = append(st.vs, vp)
 			}
-			fs := evalForces(&st.fbuf, st.backend, t, ids, xs, vs, cfg.Params.Eps)
+			fs := evalForces(&st.fbuf, st.backend, t, st.ids, st.xs, st.vs, cfg.Params.Eps)
 			for q := range block {
 				partial[q] = pforce{acc: fs[q].Acc, jerk: fs[q].Jerk, pot: fs[q].Pot}
 			}
@@ -176,7 +176,10 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 
 		if rank == diagRank {
 			// Sum partials across the cluster's row.
-			parts := make([][]pforce, r)
+			if st.parts == nil {
+				st.parts = make([][]pforce, r)
+			}
+			parts := st.parts
 			parts[j] = partial
 			for jj := 0; jj < r; jj++ {
 				if jj == j {
@@ -230,13 +233,18 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 				for _, u := range msg.Payload.([]update) {
 					applyUpdate(st.row, st.rowIdx, u)
 				}
-				changed := make([]int, 0)
+				changed := st.changed[:0]
 				for _, u := range msg.Payload.([]update) {
-					changed = append(changed, st.rowIdx[u.id])
+					ri, _ := st.rowIdx.slot(u.id)
+					changed = append(changed, ri)
 				}
+				st.changed = changed
 				if len(changed) > 0 {
 					st.backend.Update(st.col, changed)
 				}
+			}
+			for jj := range parts {
+				parts[jj] = nil // unpin the received partials until next round
 			}
 			res.Steps += int64(len(block))
 			// Every cluster's diagonal hosts correct disjoint shares of
@@ -260,11 +268,13 @@ func hybridHost(p *des.Proc, rank, clusters, r int, cfg Config, net *simnet.Netw
 			for kk := 0; kk < clusters; kk++ {
 				msg := net.Recv(p, rank, round*tagStride+tagHybColUpd+kk)
 				colUps := msg.Payload.([]update)
-				changed := make([]int, 0, len(colUps))
+				changed := st.changed[:0]
 				for _, u := range colUps {
 					applyUpdate(st.col, st.colIdx, u)
-					changed = append(changed, st.colIdx[u.id])
+					ci, _ := st.colIdx.slot(u.id)
+					changed = append(changed, ci)
 				}
+				st.changed = changed
 				if len(changed) > 0 {
 					st.backend.Update(st.col, changed)
 				}

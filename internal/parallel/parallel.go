@@ -148,8 +148,8 @@ func makeUpdate(sys *nbody.System, i int) update {
 }
 
 // applyUpdate overwrites particle state; idx maps particle id → slot.
-func applyUpdate(sys *nbody.System, idx map[int]int, u update) {
-	i, ok := idx[u.id]
+func applyUpdate(sys *nbody.System, idx idIndex, u update) {
+	i, ok := idx.slot(u.id)
 	if !ok {
 		return // this host does not store the particle
 	}
@@ -159,13 +159,47 @@ func applyUpdate(sys *nbody.System, idx map[int]int, u update) {
 	sys.Pot[i], sys.Time[i], sys.Step[i] = u.pot, u.time, u.step
 }
 
-// indexByID builds the id → slot map of a system.
-func indexByID(sys *nbody.System) map[int]int {
+// idIndex maps particle id → local slot. Every driver carves its subsets
+// from contiguous id ranges (and the copy algorithm's replicas have
+// id == slot), so the common case is a bounds check plus a subtraction —
+// the map lookups used to be a top cost of applying updates at hundreds
+// of ranks. A map fallback keeps arbitrary id layouts working.
+type idIndex struct {
+	lo, hi int // contiguous id range [lo, hi) mapping to slots 0..hi-lo
+	m      map[int]int
+}
+
+// slot returns the local slot of id; unknown ids return (0, false).
+//
+//grape:noalloc
+func (ix idIndex) slot(id int) (int, bool) {
+	if ix.m == nil {
+		if id < ix.lo || id >= ix.hi {
+			return 0, false
+		}
+		return id - ix.lo, true
+	}
+	i, ok := ix.m[id]
+	return i, ok
+}
+
+// indexByID builds the id → slot index of a system.
+func indexByID(sys *nbody.System) idIndex {
+	contiguous := sys.N > 0
+	for i := 0; i < sys.N; i++ {
+		if sys.ID[i] != sys.ID[0]+i {
+			contiguous = false
+			break
+		}
+	}
+	if contiguous {
+		return idIndex{lo: sys.ID[0], hi: sys.ID[0] + sys.N}
+	}
 	m := make(map[int]int, sys.N)
 	for i := 0; i < sys.N; i++ {
 		m[sys.ID[i]] = i
 	}
-	return m
+	return idIndex{m: m}
 }
 
 // initForces performs the shared initialisation: forces, potentials and
@@ -230,15 +264,21 @@ func evalForces(buf *[]direct.Force, b hermite.Backend, t float64, ids []int, xs
 	return fb.ForcesInto((*buf)[:len(ids)], t, ids, xs, vs, eps)
 }
 
-// blockAt returns the indices of particles whose next time equals t.
-func blockAt(sys *nbody.System, t float64) []int {
-	var b []int
+// blockAppend appends the indices of particles whose next time equals t
+// to dst — the buffer-reusing form the drivers call once per block round
+// (pass buf[:0] to recycle).
+func blockAppend(dst []int, sys *nbody.System, t float64) []int {
 	for i := 0; i < sys.N; i++ {
 		if sys.Time[i]+sys.Step[i] == t {
-			b = append(b, i)
+			dst = append(dst, i)
 		}
 	}
-	return b
+	return dst
+}
+
+// blockAt returns the indices of particles whose next time equals t.
+func blockAt(sys *nbody.System, t float64) []int {
+	return blockAppend(nil, sys, t)
 }
 
 // correctParticle applies the Hermite corrector and timestep update to

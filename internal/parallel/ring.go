@@ -150,6 +150,10 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 	next := (h + 1) % cfg.Hosts
 	round := 0
 	var fbuf []direct.Force
+	// Per-stage scratch reused across the whole run; packet lists are
+	// message payloads and stay freshly allocated.
+	var mine, ids, idxs []int
+	var xs, vs []vec.V3
 	for {
 		local := math.Inf(1)
 		if S.N > 0 {
@@ -161,7 +165,7 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 		}
 
 		// Build this host's packets.
-		mine := blockAt(S, t)
+		mine = blockAppend(mine[:0], S, t)
 		packets := make([]ipacket, 0, len(mine))
 		for _, i := range mine {
 			dt := t - S.Time[i]
@@ -174,11 +178,11 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 		held := packets
 		for stage := 0; stage < cfg.Hosts; stage++ {
 			if len(held) > 0 && S.N > 0 {
-				ids := make([]int, len(held))
-				xs := make([]vec.V3, len(held))
-				vs := make([]vec.V3, len(held))
-				for k, pk := range held {
-					ids[k], xs[k], vs[k] = pk.id, pk.x, pk.v
+				ids, xs, vs = ids[:0], xs[:0], vs[:0]
+				for _, pk := range held {
+					ids = append(ids, pk.id)
+					xs = append(xs, pk.x)
+					vs = append(vs, pk.v)
 				}
 				fs := evalForces(&fbuf, backend, t, ids, xs, vs, cfg.Params.Eps)
 				for k := range held {
@@ -205,9 +209,9 @@ func ringHost(p *des.Proc, h int, cfg Config, net *simnet.Network,
 		}
 		if len(held) > 0 {
 			p.SleepAs(int(vtrace.HostWork), m.HostWork(len(held), S.N*cfg.Hosts))
-			idxs := make([]int, len(held))
-			for k, pk := range held {
-				idxs[k] = pk.ownerIx
+			idxs = idxs[:0]
+			for _, pk := range held {
+				idxs = append(idxs, pk.ownerIx)
 			}
 			backend.Update(S, idxs)
 		}

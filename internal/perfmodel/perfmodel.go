@@ -238,6 +238,41 @@ func MultiCluster(clusters int, nic simnet.NIC, host HostProfile) Machine {
 		BoardsPerHost: 4, HW: ProductionHW, Link: PCI, NIC: nic, Host: host}
 }
 
+// ShardedFleet builds the full-machine emulation topology (Figure 19): a
+// fleet of boards × chipsPerBoard production pipeline chips shared evenly
+// over ranks simulated hosts in the given number of clusters. The paper's
+// flagship configuration is 64 boards × 32 chips = 2048 chips in 4 host
+// clusters; emulating it with more hosts than the real machine keeps the
+// per-rank chip count integral while preserving the total silicon, so
+// the cost model sees the same aggregate pipeline throughput.
+//
+// The shard is expressed as one board of totalChips/ranks chips per host
+// (the cost model only consumes chips-per-host = BoardsPerHost ×
+// ChipsPerBoard, so the board/chip split within a host is immaterial).
+func ShardedFleet(clusters, ranks, boards, chipsPerBoard int, nic simnet.NIC, host HostProfile) (Machine, error) {
+	if clusters <= 0 || ranks <= 0 || ranks%clusters != 0 {
+		return Machine{}, fmt.Errorf("perfmodel: %d ranks not divisible into %d clusters", ranks, clusters)
+	}
+	totalChips := boards * chipsPerBoard
+	if totalChips <= 0 || totalChips%ranks != 0 {
+		return Machine{}, fmt.Errorf("perfmodel: %d×%d chip fleet not divisible over %d ranks",
+			boards, chipsPerBoard, ranks)
+	}
+	hw := ProductionHW
+	hw.ChipsPerBoard = totalChips / ranks
+	return Machine{
+		Name: fmt.Sprintf("full-machine %d×%d chips over %d clusters × %d hosts",
+			boards, chipsPerBoard, clusters, ranks/clusters),
+		Clusters:      clusters,
+		HostsPerCl:    ranks / clusters,
+		BoardsPerHost: 1,
+		HW:            hw,
+		Link:          PCI,
+		NIC:           nic,
+		Host:          host,
+	}, nil
+}
+
 // BlockCost is the wall-clock decomposition of one block step, the
 // multi-node generalization of eq. (10).
 type BlockCost struct {

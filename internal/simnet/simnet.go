@@ -77,11 +77,6 @@ type Message struct {
 	SentAt  float64
 }
 
-type mailKey struct {
-	to  int
-	tag int
-}
-
 // Observer receives network accounting events; internal/vtrace
 // implements it structurally. All times are virtual.
 type Observer interface {
@@ -94,14 +89,81 @@ type Observer interface {
 	RecvBlocked(to, tag int, from, until float64)
 }
 
+// box is one live (rank, tag) mailbox: a circular buffer of queued
+// messages plus at most one parked receiver. Boxes live in a slab and are
+// recycled through a freelist the moment they are drained, so a long run
+// with round-strided tags touches only a handful of slots — where the old
+// map-of-slices design grew one entry per (rank, tag) ever used and
+// linear-scanned growing queues.
+type box struct {
+	tag  int
+	ring []Message // circular buffer; cap kept across reuse
+	head int
+	n    int
+	w    *des.Waiter
+}
+
+// push appends a message in FIFO order, growing the ring if full.
+func (b *box) push(m Message) {
+	if b.n == len(b.ring) {
+		grown := make([]Message, max(4, 2*len(b.ring)))
+		for i := 0; i < b.n; i++ {
+			grown[i] = b.ring[(b.head+i)%len(b.ring)]
+		}
+		b.ring = grown
+		b.head = 0
+	}
+	b.ring[(b.head+b.n)%len(b.ring)] = m
+	b.n++
+}
+
+// pop removes the oldest message, zeroing the vacated slot so the ring
+// does not pin delivered payloads.
+func (b *box) pop() Message {
+	m := b.ring[b.head]
+	b.ring[b.head] = Message{}
+	b.head = (b.head + 1) % len(b.ring)
+	b.n--
+	return m
+}
+
+// pending is an in-flight message awaiting its delivery event. The slab
+// index travels as the event argument, so a Send schedules delivery
+// without allocating a closure.
+type pending struct {
+	msg Message
+	to  int
+	tag int
+}
+
+// rankWaiter caches the reusable parking spot of the process that
+// receives for a rank, so the steady-state Recv path allocates nothing.
+type rankWaiter struct {
+	p *des.Proc
+	w *des.Waiter
+}
+
 // Network connects n ranks with a shared NIC profile.
 type Network struct {
-	eng  *des.Engine
-	nic  NIC
-	n    int
-	mail map[mailKey][]Message
-	wait map[mailKey]*des.Waiter
-	obs  Observer
+	eng *des.Engine
+	nic NIC
+	n   int
+	obs Observer
+
+	deliverH des.HandlerID
+
+	// Mailbox slab: active[rank] lists the slab indices of that rank's
+	// live boxes (a short list — bounded by the tags simultaneously in
+	// flight, not by the tags ever used), and boxFree recycles slots.
+	boxes   []box
+	active  [][]int32
+	boxFree []int32
+
+	// In-flight message slab.
+	pend     []pending
+	pendFree []int32
+
+	waiters []rankWaiter
 
 	// busyUntil serializes each rank's outgoing transfers.
 	busyUntil []float64
@@ -123,14 +185,16 @@ func New(eng *des.Engine, nic NIC, n int) *Network {
 	if n <= 0 {
 		panic(fmt.Sprintf("simnet: non-positive rank count %d", n))
 	}
-	return &Network{
+	net := &Network{
 		eng:       eng,
 		nic:       nic,
 		n:         n,
-		mail:      make(map[mailKey][]Message),
-		wait:      make(map[mailKey]*des.Waiter),
+		active:    make([][]int32, n),
+		waiters:   make([]rankWaiter, n),
 		busyUntil: make([]float64, n),
 	}
+	net.deliverH = eng.RegisterHandler(net.deliver)
+	return net
 }
 
 // NIC returns the network's profile.
@@ -145,6 +209,78 @@ func (net *Network) checkRank(r int) {
 	}
 }
 
+// findBox returns the slab index of rank `to`'s live box for tag, or -1.
+// The scan is over the rank's active list, whose length is the number of
+// tags concurrently in flight for that rank (typically ≤ 2 in the
+// parallel drivers), giving O(1) waiter lookup in practice.
+//
+//grape:noalloc
+func (net *Network) findBox(to, tag int) int32 {
+	for _, bi := range net.active[to] {
+		if net.boxes[bi].tag == tag {
+			return bi
+		}
+	}
+	return -1
+}
+
+// newBox takes a slab slot for (to, tag) and links it into the rank's
+// active list. The slot's ring capacity survives recycling.
+//
+//grape:noalloc
+func (net *Network) newBox(to, tag int) int32 {
+	var bi int32
+	if k := len(net.boxFree) - 1; k >= 0 {
+		bi = net.boxFree[k]
+		net.boxFree = net.boxFree[:k]
+	} else {
+		bi = int32(len(net.boxes))
+		net.boxes = append(net.boxes, box{})
+	}
+	b := &net.boxes[bi]
+	b.tag = tag
+	b.head = 0
+	b.n = 0
+	b.w = nil
+	net.active[to] = append(net.active[to], bi)
+	return bi
+}
+
+// releaseBox unlinks a drained, waiter-free box and recycles its slot.
+//
+//grape:noalloc
+func (net *Network) releaseBox(to int, bi int32) {
+	list := net.active[to]
+	for i, v := range list {
+		if v == bi {
+			list[i] = list[len(list)-1]
+			net.active[to] = list[:len(list)-1]
+			break
+		}
+	}
+	net.boxFree = append(net.boxFree, bi)
+}
+
+// deliver is the engine handler that lands an in-flight message in its
+// destination mailbox; arg is the pending-slab index.
+func (net *Network) deliver(arg uint64) {
+	pm := &net.pend[arg]
+	msg, to, tag := pm.msg, pm.to, pm.tag
+	pm.msg = Message{} // unpin the payload from the slab
+	net.pendFree = append(net.pendFree, int32(arg))
+	bi := net.findBox(to, tag)
+	if bi < 0 {
+		bi = net.newBox(to, tag)
+	}
+	b := &net.boxes[bi]
+	b.push(msg)
+	if b.w != nil {
+		w := b.w
+		b.w = nil
+		w.Wake(net.eng.Now())
+	}
+}
+
 // Send transmits a message from rank `from` to rank `to`. It does not
 // block the calling process (DMA semantics), but the sender's NIC is
 // occupied for the serialization time, so back-to-back sends queue up.
@@ -153,6 +289,8 @@ func (net *Network) checkRank(r int) {
 // Ownership: the payload is delivered by reference at a LATER virtual
 // time. The sender must not mutate a payload (or a slice's backing array)
 // after Send — ship a copy if the local value keeps evolving.
+//
+//grape:noalloc
 func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
 	net.checkRank(from)
 	net.checkRank(to)
@@ -168,21 +306,26 @@ func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
 	net.busyUntil[from] = done
 	arrive := done + net.nic.RTT/2
 
-	msg := Message{From: from, Tag: tag, Bytes: bytes, Payload: payload, SentAt: now}
 	net.MessagesSent++
 	net.BytesSent += int64(bytes)
 	if net.obs != nil {
 		net.obs.MessageSent(from, to, tag, bytes, start-now)
 	}
 
-	key := mailKey{to: to, tag: tag}
-	net.eng.At(arrive, func() {
-		net.mail[key] = append(net.mail[key], msg)
-		if w := net.wait[key]; w != nil {
-			delete(net.wait, key)
-			w.Wake(net.eng.Now())
-		}
-	})
+	var si int32
+	if k := len(net.pendFree) - 1; k >= 0 {
+		si = net.pendFree[k]
+		net.pendFree = net.pendFree[:k]
+	} else {
+		si = int32(len(net.pend))
+		net.pend = append(net.pend, pending{})
+	}
+	net.pend[si] = pending{
+		msg: Message{From: from, Tag: tag, Bytes: bytes, Payload: payload, SentAt: now},
+		to:  to,
+		tag: tag,
+	}
+	net.eng.AtHandler(arrive, net.deliverH, uint64(si))
 }
 
 // Recv blocks the process until a message with the given tag arrives for
@@ -191,30 +334,37 @@ func (net *Network) Send(from, to, tag, bytes int, payload interface{}) {
 // time.
 func (net *Network) Recv(p *des.Proc, to, tag int) Message {
 	net.checkRank(to)
-	key := mailKey{to: to, tag: tag}
-	if len(net.mail[key]) == 0 {
+	bi := net.findBox(to, tag)
+	if bi < 0 || net.boxes[bi].n == 0 {
 		blockedFrom := net.eng.Now()
-		for len(net.mail[key]) == 0 {
-			if net.wait[key] != nil {
+		// Re-resolve the box each round: while this process is parked the
+		// slab can grow (invalidating pointers, not indices) and in
+		// principle another receiver could drain and recycle the slot.
+		for bi = net.findBox(to, tag); bi < 0 || net.boxes[bi].n == 0; bi = net.findBox(to, tag) {
+			if bi < 0 {
+				bi = net.newBox(to, tag)
+			}
+			b := &net.boxes[bi]
+			if b.w != nil {
 				panic(fmt.Sprintf("simnet: second receiver on rank %d tag %d", to, tag))
 			}
-			w := p.NewWaiter()
-			net.wait[key] = w
-			w.Park()
+			rw := &net.waiters[to]
+			if rw.p != p {
+				rw.p = p
+				rw.w = p.NewWaiter()
+			}
+			b.w = rw.w
+			rw.w.Park()
 		}
 		if net.obs != nil {
 			net.obs.RecvBlocked(to, tag, blockedFrom, net.eng.Now())
 		}
 	}
-	q := net.mail[key]
-	msg := q[0]
-	copy(q, q[1:])
-	// Zero the vacated tail slot: the shift leaves a duplicate Message —
-	// payload reference included — live in the backing array, which would
-	// keep delivered payloads reachable for as long as the mailbox
-	// persists.
-	q[len(q)-1] = Message{}
-	net.mail[key] = q[:len(q)-1]
+	b := &net.boxes[bi]
+	msg := b.pop()
+	if b.n == 0 && b.w == nil {
+		net.releaseBox(to, bi)
+	}
 	return msg
 }
 
@@ -261,4 +411,11 @@ func (net *Network) BarrierTime(size, bytes int) float64 {
 		rounds++
 	}
 	return float64(rounds) * net.nic.OneWay(bytes)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
 }

@@ -319,30 +319,69 @@ func TestKernelBypassProfile(t *testing.T) {
 	}
 }
 
-// Regression: the dequeue shift used to leave a duplicate of the last
-// Message — payload reference included — live in the mailbox's backing
-// array, pinning delivered payloads for the life of the run.
+// Regression: a dequeue must zero the vacated ring slot — otherwise a
+// duplicate of the popped Message, payload reference included, stays live
+// in the mailbox's backing array, pinning delivered payloads for the life
+// of the run.
 func TestRecvZeroesVacatedSlot(t *testing.T) {
 	eng := des.New()
 	net := New(eng, NIC{RTT: 10e-6, Bandwidth: 1e9}, 2)
-	var tail Message
 	eng.Spawn("recv", func(p *des.Proc) {
 		p.Sleep(1e-3) // let both messages land in the mailbox first
-		before := net.mail[mailKey{to: 1, tag: 0}]
-		if len(before) != 2 {
-			t.Errorf("mailbox holds %d messages before recv, want 2", len(before))
+		bi := net.findBox(1, 0)
+		if bi < 0 || net.boxes[bi].n != 2 {
+			t.Errorf("mailbox missing or wrong depth before recv (bi=%d)", bi)
 			return
 		}
+		ring := net.boxes[bi].ring // backing array before the pop
+		slot := net.boxes[bi].head // slot the pop will vacate
 		net.Recv(p, 1, 0)
-		tail = before[1] // vacated slot of the original backing array
+		if ring[slot] != (Message{}) {
+			t.Errorf("vacated slot still holds %+v, want zero Message", ring[slot])
+		}
 	})
 	eng.Spawn("send", func(p *des.Proc) {
 		net.Send(0, 1, 0, 100, "first")
 		net.Send(0, 1, 0, 100, "second")
 	})
 	eng.RunAll()
-	if tail != (Message{}) {
-		t.Errorf("vacated slot still holds %+v, want zero Message", tail)
+}
+
+// Delivery unpins payloads from the in-flight slab, and drained mailboxes
+// are recycled: a long run with round-strided tags (the parallel drivers'
+// scheme) must not grow the network's state per round.
+func TestSlabReuseBoundedGrowth(t *testing.T) {
+	eng := des.New()
+	net := New(eng, NIC{RTT: 10e-6, Bandwidth: 1e9}, 2)
+	const rounds = 500
+	eng.Spawn("rank0", func(p *des.Proc) {
+		for r := 0; r < rounds; r++ {
+			tag := r * 4096 // fresh tag every round, like the drivers
+			net.Send(0, 1, tag, 64, nil)
+			net.Recv(p, 0, tag+1)
+		}
+	})
+	eng.Spawn("rank1", func(p *des.Proc) {
+		for r := 0; r < rounds; r++ {
+			tag := r * 4096
+			net.Recv(p, 1, tag)
+			net.Send(1, 0, tag+1, 64, nil)
+		}
+	})
+	eng.RunAll()
+	if eng.Live() != 0 {
+		t.Fatalf("%d processes deadlocked", eng.Live())
+	}
+	if len(net.boxes) > 8 {
+		t.Errorf("mailbox slab grew to %d slots over %d rounds, want bounded reuse", len(net.boxes), rounds)
+	}
+	if len(net.pend) > 8 {
+		t.Errorf("in-flight slab grew to %d slots over %d rounds, want bounded reuse", len(net.pend), rounds)
+	}
+	for i := range net.pend {
+		if net.pend[i].msg != (Message{}) {
+			t.Errorf("recycled in-flight slot %d still pins %+v", i, net.pend[i].msg)
+		}
 	}
 }
 

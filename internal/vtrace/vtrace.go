@@ -67,6 +67,35 @@ type Span struct {
 	Start, End float64
 }
 
+// spanChunk is one fixed-size block of a recorder's span chain. Spans are
+// appended into chunks instead of a growing slice so that recording never
+// copies earlier spans and a full-machine run (hundreds of ranks, millions
+// of spans) costs one arena allocation per ~128 spans instead of repeated
+// slice doublings.
+const spanChunkLen = 128
+
+type spanChunk struct {
+	next *spanChunk
+	n    int
+	sp   [spanChunkLen]Span
+}
+
+// spanArena hands out chunks carved from slab allocations of 32 chunks,
+// so chunk allocation itself amortizes to 1/32 of an allocation. A Set
+// shares one arena across all of its rank recorders.
+type spanArena struct {
+	slab []spanChunk
+}
+
+func (a *spanArena) alloc() *spanChunk {
+	if len(a.slab) == 0 {
+		a.slab = make([]spanChunk, 32)
+	}
+	c := &a.slab[0]
+	a.slab = a.slab[1:]
+	return c
+}
+
 // Recorder accumulates one rank's phase spans. The zero value is not
 // ready for use; call NewRecorder. A nil *Recorder is a valid no-op
 // target for every method — the fast path when tracing is off.
@@ -75,7 +104,12 @@ type Recorder struct {
 	cursor float64 // virtual time up to which the timeline is tiled
 	wait   Phase   // attribution for blocked-receive time
 	totals [NumPhases]float64
-	spans  []Span
+
+	// Span storage: an arena-backed chunk chain (see spanChunk).
+	arena      *spanArena
+	head, tail *spanChunk
+	nspans     int
+
 	closed bool
 	end    float64
 	slack  float64 // idle adjustment applied by Close (FP reconciliation)
@@ -92,7 +126,28 @@ type Recorder struct {
 // NewRecorder returns an empty recorder for the given rank. Blocked
 // receives are attributed to CommWait until SetWait changes the phase.
 func NewRecorder(rank int) *Recorder {
-	return &Recorder{rank: rank, wait: CommWait}
+	return &Recorder{rank: rank, wait: CommWait, arena: &spanArena{}}
+}
+
+// appendSpan appends to the chunk chain, taking a fresh arena chunk when
+// the tail fills.
+//
+//grape:noalloc
+func (r *Recorder) appendSpan(s Span) {
+	t := r.tail
+	if t == nil || t.n == spanChunkLen {
+		c := r.arena.alloc()
+		if t == nil {
+			r.head = c
+		} else {
+			t.next = c
+		}
+		r.tail = c
+		t = c
+	}
+	t.sp[t.n] = s
+	t.n++
+	r.nspans++
 }
 
 // Rank returns the rank this recorder accounts for.
@@ -124,10 +179,10 @@ func (r *Recorder) Add(ph Phase, from, to float64) {
 	}
 	if from > r.cursor {
 		r.totals[Idle] += from - r.cursor
-		r.spans = append(r.spans, Span{Phase: Idle, Start: r.cursor, End: from})
+		r.appendSpan(Span{Phase: Idle, Start: r.cursor, End: from})
 	}
 	r.totals[ph] += to - from
-	r.spans = append(r.spans, Span{Phase: ph, Start: from, End: to})
+	r.appendSpan(Span{Phase: ph, Start: from, End: to})
 	r.cursor = to
 }
 
@@ -181,7 +236,7 @@ func (r *Recorder) Close(end float64) {
 	}
 	if end > r.cursor {
 		r.totals[Idle] += end - r.cursor
-		r.spans = append(r.spans, Span{Phase: Idle, Start: r.cursor, End: end})
+		r.appendSpan(Span{Phase: Idle, Start: r.cursor, End: end})
 		r.cursor = end
 	}
 	gap := r.totals[Idle]
@@ -223,13 +278,19 @@ func (r *Recorder) Totals() PhaseTotals {
 	return r.totals
 }
 
-// Spans returns the recorded spans (including Idle fill). The slice is
-// owned by the recorder; do not mutate.
+// Spans materializes the recorded spans (including Idle fill) into a
+// fresh slice owned by the caller. Recording keeps spans in chunked arena
+// storage; this is the cold-path flat view for export and tests. A
+// recorder with no spans returns nil.
 func (r *Recorder) Spans() []Span {
-	if r == nil {
+	if r == nil || r.nspans == 0 {
 		return nil
 	}
-	return r.spans
+	out := make([]Span, 0, r.nspans)
+	for c := r.head; c != nil; c = c.next {
+		out = append(out, c.sp[:c.n]...)
+	}
+	return out
 }
 
 // End returns the engine end time passed to Close.
@@ -263,12 +324,16 @@ func (r *Recorder) Check(end float64) error {
 		return fmt.Errorf("vtrace: rank %d closed at %g, engine ended at %g", r.rank, r.end, end)
 	}
 	prev := 0.0
-	for i, sp := range r.spans {
-		if sp.Start != prev || sp.End < sp.Start {
-			return fmt.Errorf("vtrace: rank %d span %d (%v [%g,%g]) does not tile (expected start %g)",
-				r.rank, i, sp.Phase, sp.Start, sp.End, prev)
+	i := 0
+	for c := r.head; c != nil; c = c.next {
+		for _, sp := range c.sp[:c.n] {
+			if sp.Start != prev || sp.End < sp.Start {
+				return fmt.Errorf("vtrace: rank %d span %d (%v [%g,%g]) does not tile (expected start %g)",
+					r.rank, i, sp.Phase, sp.Start, sp.End, prev)
+			}
+			prev = sp.End
+			i++
 		}
-		prev = sp.End
 	}
 	if prev != end {
 		return fmt.Errorf("vtrace: rank %d spans end at %g, engine at %g", r.rank, prev, end)
@@ -328,8 +393,11 @@ func NewSet(n int) *Set {
 		bytes: make([]int64, n*n),
 		queue: make([]float64, n),
 	}
+	// One shared arena: rank recorders fill at similar rates, so shared
+	// slabs cut the allocation count another 32× across the set.
+	ar := &spanArena{}
 	for i := range s.recs {
-		s.recs[i] = NewRecorder(i)
+		s.recs[i] = &Recorder{rank: i, wait: CommWait, arena: ar}
 	}
 	return s
 }

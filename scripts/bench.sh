@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr5.json so future PRs can track the trajectory.
+# BENCH_pr6.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
@@ -9,13 +9,16 @@
 # model Gflops double as a regression canary for the cycle model, the
 # cache-blocked force kernel (full-depth chip and array passes plus the
 # j-tile-length sweep validating the Fig. 14 cache-model tile derivation),
-# and the multi-node virtual-time sweeps (ring at 2-16 hosts per NIC,
-# hybrid at 1-4 clusters) whose per-phase breakdown totals track the
-# co-simulation's communication accounting.
+# the multi-node virtual-time sweeps (ring at 2-16 hosts per NIC, hybrid
+# at 1-4 clusters) whose per-phase breakdown totals track the
+# co-simulation's communication accounting, the raw DES engine throughput
+# (events/s on the handler and process paths, pinned allocation-free),
+# and the full-machine co-simulation (256 ranks emulating 64 boards × 32
+# chips) whose ns/op is the wall-clock the engine rework targets.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr5.json}"
+out="${1:-BENCH_pr6.json}"
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
@@ -31,11 +34,16 @@ go test ./internal/board -run '^$' \
 	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
 	-benchmem -benchtime=1s | tee -a "$tmp"
 
+go test ./internal/des -run '^$' \
+	-bench 'BenchmarkEngineEventsPerSec$|BenchmarkSleepProcCycle$' \
+	-benchmem -benchtime=2s | tee -a "$tmp"
+
 # The co-simulations are deterministic in virtual time, so one iteration
 # per configuration is the measurement — the metrics of interest are the
-# virtual-time phase totals, not Go wall-clock.
+# virtual-time phase totals, not Go wall-clock; for the full machine the
+# ns/op wall-clock itself is the tracked number (acceptance: < 10 s).
 go test . -run '^$' \
-	-bench 'BenchmarkCosimRing$|BenchmarkCosimHybrid$' \
+	-bench 'BenchmarkCosimRing$|BenchmarkCosimHybrid$|BenchmarkCosimFullMachine$' \
 	-benchtime=1x | tee -a "$tmp"
 
 # Parse `go test -bench` lines into JSON. Fields per line:
@@ -46,7 +54,7 @@ BEGIN { printf "[\n"; first = 1 }
 	name = $1
 	sub(/-[0-9]+$/, "", name)
 	ns = ""; allocs = ""; gflops = ""
-	vtime = ""; comm = ""; sync = ""
+	vtime = ""; comm = ""; sync = ""; events = ""
 	for (i = 3; i < NF; i++) {
 		if ($(i+1) == "ns/op") ns = $i
 		if ($(i+1) == "allocs/op") allocs = $i
@@ -54,6 +62,7 @@ BEGIN { printf "[\n"; first = 1 }
 		if ($(i+1) == "vtime_s") vtime = $i
 		if ($(i+1) == "comm_s") comm = $i
 		if ($(i+1) == "sync_s") sync = $i
+		if ($(i+1) == "events/s") events = $i
 	}
 	if (ns == "") next
 	if (!first) printf ",\n"
@@ -64,6 +73,7 @@ BEGIN { printf "[\n"; first = 1 }
 	if (vtime != "") printf ", \"vtime_s\": %s", vtime
 	if (comm != "") printf ", \"comm_s\": %s", comm
 	if (sync != "") printf ", \"sync_s\": %s", sync
+	if (events != "") printf ", \"events_per_s\": %s", events
 	printf "}"
 }
 END { printf "\n]\n" }
