@@ -95,8 +95,24 @@ type Integrator struct {
 
 	ps []pstate
 
-	// prediction scratch (all particles predicted to current block time)
+	// sched buckets particles by step exponent so block selection is
+	// O(active block) instead of an O(N) scan (shared with hermite).
+	sched *nbody.BlockSched
+	block []int
+
+	// Prediction scratch. px/pv hold per-particle predicted states; pt is
+	// the block time each entry was predicted at (NaN = never). Blocks
+	// with only irregular steps predict just the block and its neighbour
+	// lists lazily through pt; a block containing any regular step
+	// refreshes the whole system (full-j force and neighbour rebuild read
+	// every entry), so the O(N) predictor pass amortizes over the
+	// ~RegFactor irregular steps between regular ones.
 	px, pv []vec.V3
+	pt     []float64
+
+	// eagerPredict restores the retired predict-everything-per-block
+	// behaviour; the lazy path is tested bit-identical against it.
+	eagerPredict bool
 }
 
 // New initialises the scheme: full forces, neighbour lists and startup
@@ -121,6 +137,10 @@ func New(sys *nbody.System, p Params) (*Integrator, error) {
 	it.ps = make([]pstate, sys.N)
 	it.px = make([]vec.V3, sys.N)
 	it.pv = make([]vec.V3, sys.N)
+	it.pt = make([]float64, sys.N)
+	for i := range it.pt {
+		it.pt[i] = math.NaN()
+	}
 
 	nnb := p.TargetNeighbours
 	if nnb > sys.N-1 {
@@ -138,11 +158,11 @@ func New(sys *nbody.System, p Params) (*Integrator, error) {
 	for i := 0; i < sys.N; i++ {
 		st := &it.ps[i]
 		st.rnb2 = r0 * r0
-		st.nb = neighboursWithin(sys, i, st.rnb2)
+		st.nb = neighboursWithin(sys, i, st.rnb2, st.nb)
 		// Refine the radius toward the target count.
 		for adjust := 0; adjust < 8 && (len(st.nb) < nnb/2 || len(st.nb) > nnb*2); adjust++ {
 			st.rnb2 *= math.Pow(float64(nnb+1)/float64(len(st.nb)+1), 2.0/3.0)
-			st.nb = neighboursWithin(sys, i, st.rnb2)
+			st.nb = neighboursWithin(sys, i, st.rnb2, st.nb)
 		}
 
 		total := direct.EvalSkip(sys.Pos[i], sys.Vel[i], js, p.Eps, i)
@@ -167,12 +187,18 @@ func New(sys *nbody.System, p Params) (*Integrator, error) {
 			st.dtReg = p.MaxStep
 		}
 	}
+	it.sched = nbody.NewBlockSched(sys)
 	return it, nil
 }
 
-// neighboursWithin returns the indices within the squared radius of i.
-func neighboursWithin(sys *nbody.System, i int, r2 float64) []int {
-	var nb []int
+// neighboursWithin refills nb with the indices within the squared radius
+// of i, reusing nb's backing array. Each particle threads its persistent
+// list through, so steady-state rebuilds allocate only when a list grows
+// past its historical maximum.
+//
+//grape:noalloc
+func neighboursWithin(sys *nbody.System, i int, r2 float64, nb []int) []int {
+	nb = nb[:0]
 	for j := 0; j < sys.N; j++ {
 		if j == i {
 			continue
@@ -217,28 +243,63 @@ func (it *Integrator) irregularForce(i int, xs, vs []vec.V3) (a, j vec.V3) {
 }
 
 // NextBlockTime returns the time of the next irregular block.
-func (it *Integrator) NextBlockTime() float64 { return it.Sys.MinTime() }
+func (it *Integrator) NextBlockTime() float64 { return it.sched.NextTime() }
+
+// predictTo stages particle i's predicted state at block time t, skipping
+// entries already stamped for t.
+//
+//grape:noalloc
+func (it *Integrator) predictTo(i int, t float64) {
+	if it.pt[i] == t {
+		return
+	}
+	sys := it.Sys
+	dt := t - sys.Time[i]
+	it.px[i], it.pv[i] = hermite.Predict(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i], dt)
+	it.pt[i] = t
+}
+
+// predictAll stages the whole system at t — required before any regular
+// step (full-j force and neighbour rebuild reach every particle).
+func (it *Integrator) predictAll(t float64) {
+	sys := it.Sys
+	for i := 0; i < sys.N; i++ {
+		dt := t - sys.Time[i]
+		it.px[i], it.pv[i] = hermite.Predict(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i], dt)
+		it.pt[i] = t
+	}
+}
 
 // Step advances one irregular block step (performing regular steps for the
 // particles whose regular time is due).
 func (it *Integrator) Step() hermite.BlockStat {
 	sys := it.Sys
-	t := sys.MinTime()
+	t := it.sched.NextTime()
+	it.block = it.sched.AppendBlock(sys, t, it.block[:0])
 
-	var block []int
-	for i := 0; i < sys.N; i++ {
-		if sys.Time[i]+sys.Step[i] == t {
-			block = append(block, i)
+	// Stage predictions before any corrector write. A block containing a
+	// regular step needs the full system; a pure-irregular block touches
+	// only its members and their neighbour lists, which is where the
+	// Ahmad-Cohen amortization comes from.
+	anyRegular := false
+	for _, i := range it.block {
+		if st := &it.ps[i]; t >= st.tReg+st.dtReg {
+			anyRegular = true
+			break
+		}
+	}
+	if anyRegular || it.eagerPredict {
+		it.predictAll(t)
+	} else {
+		for _, i := range it.block {
+			it.predictTo(i, t)
+			for _, k := range it.ps[i].nb {
+				it.predictTo(k, t)
+			}
 		}
 	}
 
-	// Predict everything to t (neighbour lists reach anywhere).
-	for i := 0; i < sys.N; i++ {
-		dt := t - sys.Time[i]
-		it.px[i], it.pv[i] = hermite.Predict(sys.Pos[i], sys.Vel[i], sys.Acc[i], sys.Jerk[i], sys.Snap[i], dt)
-	}
-
-	for _, i := range block {
+	for _, i := range it.block {
 		st := &it.ps[i]
 		dt := t - sys.Time[i]
 
@@ -263,7 +324,7 @@ func (it *Integrator) Step() hermite.BlockStat {
 				target = sys.N - 1
 			}
 			st.rnb2 *= math.Pow(float64(target+1)/float64(len(st.nb)+1), 2.0/3.0)
-			st.nb = predictedNeighboursWithin(it.px, i, st.rnb2, sys.N)
+			st.nb = predictedNeighboursWithin(it.px, i, st.rnb2, sys.N, st.nb)
 			aIrr1, jIrr1 = it.irregularForce(i, it.px, it.pv)
 			it.PairOps += int64(len(st.nb))
 
@@ -292,6 +353,7 @@ func (it *Integrator) Step() hermite.BlockStat {
 
 		desired := hermite.AarsethStep(a1, j1, snap1, crackle, it.P.Eta)
 		sys.Step[i] = hermite.NextStep(sys.Step[i], desired, t, it.P.MinStep, it.P.MaxStep)
+		it.sched.Rebin(sys, i)
 
 		if regular {
 			st.aReg, st.jReg = aReg1, jReg1
@@ -307,12 +369,15 @@ func (it *Integrator) Step() hermite.BlockStat {
 
 	it.T = t
 	it.Blocks++
-	return hermite.BlockStat{Time: t, Size: len(block)}
+	return hermite.BlockStat{Time: t, Size: len(it.block), Bins: it.sched.Bins()}
 }
 
-// predictedNeighboursWithin is neighboursWithin on the prediction buffers.
-func predictedNeighboursWithin(px []vec.V3, i int, r2 float64, n int) []int {
-	var nb []int
+// predictedNeighboursWithin is neighboursWithin on the prediction
+// buffers, with the same scratch-reuse contract.
+//
+//grape:noalloc
+func predictedNeighboursWithin(px []vec.V3, i int, r2 float64, n int, nb []int) []int {
+	nb = nb[:0]
 	for j := 0; j < n; j++ {
 		if j == i {
 			continue

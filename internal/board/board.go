@@ -70,10 +70,68 @@ func (c Config) PeakFlops() float64 {
 	return float64(c.TotalChips()) * c.Chip.PeakFlops()
 }
 
-// jloc locates a particle's memory image.
-type jloc struct {
-	chip int // flat chip index across all boards
-	slot int
+// idIndex maps particle ids to load positions: a dense []int32 table
+// when the id space is compact (the common 0..N-1 case, one O(1) array
+// read per lookup on the hot update path), a map fallback otherwise.
+type idIndex struct {
+	dense []int32 // id → position, -1 for absent; empty when using the map
+	m     map[int]int
+}
+
+// rebuild re-indexes the load positions of ps.
+func (x *idIndex) rebuild(ps []chip.JParticle) {
+	maxID := -1
+	compact := true
+	for i := range ps {
+		id := ps[i].ID
+		if id < 0 {
+			compact = false
+			break
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	if compact && maxID < 2*len(ps)+64 {
+		if cap(x.dense) < maxID+1 {
+			x.dense = make([]int32, maxID+1)
+		}
+		x.dense = x.dense[:maxID+1]
+		for k := range x.dense {
+			x.dense[k] = -1
+		}
+		for i := range ps {
+			x.dense[ps[i].ID] = int32(i)
+		}
+		x.m = nil
+		return
+	}
+	x.dense = x.dense[:0]
+	if x.m == nil {
+		x.m = make(map[int]int, len(ps))
+	} else {
+		clear(x.m)
+	}
+	for i := range ps {
+		x.m[ps[i].ID] = i
+	}
+}
+
+// get returns the load position of id.
+//
+//grape:noalloc
+func (x *idIndex) get(id int) (int, bool) {
+	if d := x.dense; len(d) > 0 {
+		if id < 0 || id >= len(d) {
+			return 0, false
+		}
+		if v := d[id]; v >= 0 {
+			return int(v), true
+		}
+		return 0, false
+	}
+	v, ok := x.m[id]
+	return v, ok
 }
 
 // Array is the emulated multi-board attachment of one host.
@@ -108,8 +166,17 @@ type jloc struct {
 type Array struct {
 	cfg   Config
 	chips []*chip.Chip
-	loc   map[int]jloc // particle id → memory location
+	loc   idIndex // particle id → load position
 	nj    int
+
+	// Paged j-memory (j-sets exceeding the chips' combined capacity):
+	// the full set lives host-side in jhost and force evaluations stream
+	// it through the chips page by page. In paged mode a particle's load
+	// position is its jhost slot; in resident mode position i maps to
+	// chip i%nc, slot i/nc (the round-robin distribution).
+	paged       bool
+	jhost       []chip.JParticle
+	pageScratch []chip.Partial // per-page partials merged into dst
 
 	mu      sync.Mutex // guards pool creation and Close
 	workers []*forceWorker
@@ -191,7 +258,7 @@ func New(cfg Config) *Array {
 	if cfg.Chip.TileJ == 0 {
 		cfg.Chip.TileJ = HostCache.TileParticles(chip.HotJBytes)
 	}
-	a := &Array{cfg: cfg, loc: make(map[int]jloc)}
+	a := &Array{cfg: cfg}
 	a.chips = make([]*chip.Chip, cfg.TotalChips())
 	for i := range a.chips {
 		a.chips[i] = chip.New(cfg.Chip)
@@ -205,45 +272,74 @@ func (a *Array) Config() Config { return a.cfg }
 // NJ returns the number of loaded j-particles.
 func (a *Array) NJ() int { return a.nj }
 
-// LoadJ distributes the particles across the chips' local memories in
-// round-robin order (so each chip holds ≈ N/TotalChips particles, the
-// GRAPE-6 local-memory design of Section 3.4) and records their locations
-// for later updates.
+// LoadJ installs a j-set. When it fits the chips' combined memory the
+// particles are distributed across the local memories in round-robin
+// order (so each chip holds ≈ N/TotalChips particles, the GRAPE-6
+// local-memory design of Section 3.4); a larger set switches the Array
+// to paged mode, where the set lives host-side and force evaluations
+// stream it through the chips page by page (bit-identical results by
+// the Section 3.4 partition invariance).
 func (a *Array) LoadJ(ps []chip.JParticle) error {
 	a.joinPredict()
 	nc := len(a.chips)
+	if len(ps) > nc*a.cfg.Chip.MemCapacity {
+		return a.loadPaged(ps)
+	}
+	a.paged = false
+	a.jhost = a.jhost[:0]
 	buckets := make([][]chip.JParticle, nc)
 	per := (len(ps) + nc - 1) / nc
 	for i := range buckets {
 		buckets[i] = make([]chip.JParticle, 0, per)
 	}
-	clear(a.loc)
 	for i, p := range ps {
-		c := i % nc
-		a.loc[p.ID] = jloc{chip: c, slot: len(buckets[c])}
-		buckets[c] = append(buckets[c], p)
+		buckets[i%nc] = append(buckets[i%nc], p)
 	}
 	for c, b := range buckets {
 		if err := a.chips[c].LoadJ(b); err != nil {
 			return fmt.Errorf("board: chip %d: %w", c, err)
 		}
 	}
+	a.loc.rebuild(ps)
 	a.nj = len(ps)
 	return nil
 }
 
-// UpdateJ rewrites the memory image of an already-loaded particle. When
-// the owning chip's prediction cache is current, only that particle's
-// cached prediction is re-evaluated (see chip.WriteJ), so a block update
-// costs O(block) predictor evaluations instead of O(N_j) at the next
-// same-time force pass.
+// loadPaged keeps the whole j-set in host memory (the frontend's RAM,
+// which on the real machine also holds the canonical particle data) and
+// empties the chips; forcesPaged streams pages on demand.
+func (a *Array) loadPaged(ps []chip.JParticle) error {
+	a.paged = true
+	a.jhost = append(a.jhost[:0], ps...)
+	a.loc.rebuild(ps)
+	a.nj = len(ps)
+	for c, ch := range a.chips {
+		if err := ch.TruncateJ(0); err != nil {
+			return fmt.Errorf("board: chip %d: %w", c, err)
+		}
+	}
+	return nil
+}
+
+// UpdateJ rewrites the memory image of an already-loaded particle. In
+// resident mode, when the owning chip's prediction cache is current,
+// only that particle's cached prediction is re-evaluated (see
+// chip.WriteJ), so a block update costs O(block) predictor evaluations
+// instead of O(N_j) at the next same-time force pass. In paged mode the
+// update is a single host-side slot write — the next force pass streams
+// the new state with everything else.
 func (a *Array) UpdateJ(p chip.JParticle) error {
-	l, ok := a.loc[p.ID]
+	pos, ok := a.loc.get(p.ID)
 	if !ok {
 		return fmt.Errorf("board: particle %d not loaded", p.ID)
 	}
 	a.joinPredict()
-	return a.chips[l.chip].WriteJ(l.slot, p)
+	if a.paged {
+		a.jhost[pos] = p
+		return nil
+	}
+	nc := len(a.chips)
+	return a.chips[pos%nc].WriteJ(pos/nc, p)
 }
 
 // jobKind tags the stage a poolJob runs.
@@ -416,21 +512,25 @@ func (a *Array) BeginPredict(t float64) {
 		}
 		a.joinPredict()
 	}
-	if runtime.GOMAXPROCS(0) <= 1 || a.nj < asyncPredictMin {
+	// In paged mode the chips hold whatever page streamed last; each page
+	// predicts lazily inside the force pass, so there is nothing to
+	// prefetch.
+	if a.paged || runtime.GOMAXPROCS(0) <= 1 || a.nj < asyncPredictMin {
 		return
 	}
-	a.startPredict(t)
+	a.startPredict(t, a.nj)
 }
 
 // startPredict stripes prediction at time t across the pool without
-// waiting. Any previous stage must have been joined.
-func (a *Array) startPredict(t float64) {
+// waiting; nj is the currently chip-resident particle count (the loaded
+// set, or one page of it). Any previous stage must have been joined.
+func (a *Array) startPredict(t float64, nj int) {
 	pc := &a.pc
 	pc.units = pc.units[:0]
 	// Predict spans use the same tile-aligned striping as the force
 	// stage: alignment is irrelevant for the predictor itself but keeps
 	// one span geometry across both stages.
-	l := stripeLen(a.nj, a.cfg.Chip.TileLen())
+	l := stripeLen(nj, a.cfg.Chip.TileLen())
 	for ci, ch := range a.chips {
 		if !ch.PredictedAt(t) {
 			pc.units = appendSpans(pc.units, ci, ch.NJ(), l)
@@ -486,11 +586,23 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 		panic(fmt.Sprintf("board: partial slab of %d for %d i-particles", len(dst), len(is)))
 	}
 	a.joinPredict()
+	if a.paged {
+		return a.forcesPaged(dst, t, is, eps)
+	}
+	return a.forcesResident(dst, t, is, eps, a.nj) + a.reductionCycles()
+}
+
+// forcesResident evaluates the batch against the chip-resident j-set of
+// nj particles (the whole loaded set, or one streamed page) and returns
+// the lockstep chip cycles WITHOUT the reduction-tree latency — the
+// caller adds reductionCycles once per evaluation, since the paged path
+// merges page partials host-side and pays the trees once.
+func (a *Array) forcesResident(dst []chip.Partial, t float64, is []chip.IParticle, eps float64, nj int) int64 {
 	nc := len(a.chips)
 	n := len(is)
 	var maxCycles int64
 
-	if runtime.GOMAXPROCS(0) <= 1 || n*a.nj < serialWorkMax {
+	if runtime.GOMAXPROCS(0) <= 1 || n*nj < serialWorkMax {
 		// Small workload: the goroutine handoff costs more than the work.
 		a.scratch = growPartials(a.scratch, n)
 		for c := 0; c < nc; c++ {
@@ -508,13 +620,13 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 				}
 			}
 		}
-		return maxCycles + a.reductionCycles()
+		return maxCycles
 	}
 
 	// Predict stage: if the prefetch did not already run (or ran for a
 	// different time), stripe it across the pool now — the force spans
 	// below touch chips concurrently and must find the caches hot.
-	a.startPredict(t)
+	a.startPredict(t, nj)
 	a.joinPredict()
 
 	// Force stage: stripe (chip, j-range) spans across the pool.
@@ -523,7 +635,7 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 	fc.units = fc.units[:0]
 	// Tile-aligned spans: each claim is a whole number of j-tiles, so the
 	// chips' cache blocking and the pool's dynamic striping compose.
-	l := stripeLen(a.nj, a.cfg.Chip.TileLen())
+	l := stripeLen(nj, a.cfg.Chip.TileLen())
 	for ci, ch := range a.chips {
 		fc.units = appendSpans(fc.units, ci, ch.NJ(), l)
 	}
@@ -565,7 +677,65 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 			maxCycles = cy
 		}
 	}
-	return maxCycles + a.reductionCycles()
+	return maxCycles
+}
+
+// chipPageLen returns the per-chip page length of the streaming path:
+// the largest whole number of j-tiles fitting the chip memory, so
+// paging composes with the cache blocking (a memory smaller than one
+// tile pages at full capacity).
+func (a *Array) chipPageLen() int {
+	tile := a.cfg.Chip.TileLen()
+	capacity := a.cfg.Chip.MemCapacity
+	if tile <= 0 || tile >= capacity {
+		return capacity
+	}
+	return capacity - capacity%tile
+}
+
+// forcesPaged evaluates the batch against the host-resident j-set by
+// streaming it through the chips page by page. Pages are balanced —
+// npages = ceil(total/fleetPage), page p covers [p·total/npages,
+// (p+1)·total/npages) and each chip takes an equally balanced chunk —
+// so chunk sizes differ by at most one across the whole run, the chip
+// planes keep one steady footprint (no shrink-hysteresis thrash), and
+// the streaming steady state allocates nothing. Per-page partials merge
+// into dst by exact integer accumulator adds, so the result is
+// bit-identical to a hypothetical unbounded-memory resident evaluation
+// (the Section 3.4 partition invariance), and the reduction-tree
+// latency is paid once, as the hardware would.
+func (a *Array) forcesPaged(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
+	n := len(is)
+	nc := len(a.chips)
+	total := len(a.jhost)
+	fleetPage := nc * a.chipPageLen()
+	npages := (total + fleetPage - 1) / fleetPage
+	var cycles int64
+	for p := 0; p < npages; p++ {
+		page := a.jhost[p*total/npages : (p+1)*total/npages]
+		m := len(page)
+		for c := 0; c < nc; c++ {
+			chunk := page[c*m/nc : (c+1)*m/nc]
+			if err := a.chips[c].LoadJRange(0, chunk); err != nil {
+				panic(fmt.Sprintf("board: page %d chip %d: %v", p, c, err))
+			}
+			if err := a.chips[c].TruncateJ(len(chunk)); err != nil {
+				panic(fmt.Sprintf("board: page %d chip %d: %v", p, c, err))
+			}
+		}
+		d := dst[:n]
+		if p > 0 {
+			a.pageScratch = growPartials(a.pageScratch, n)
+			d = a.pageScratch[:n]
+		}
+		cycles += a.forcesResident(d, t, is, eps, m)
+		if p > 0 {
+			for i := 0; i < n; i++ {
+				dst[i].Merge(&a.pageScratch[i])
+			}
+		}
+	}
+	return cycles + a.reductionCycles()
 }
 
 // reductionCycles returns the pipeline latency of the three-level

@@ -1,0 +1,137 @@
+package chip
+
+import (
+	"testing"
+
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+// streamJSet builds n well-ranged j-particles for paging tests.
+func streamJSet(t *testing.T, n int, seed uint64) []JParticle {
+	t.Helper()
+	rng := xrand.New(seed)
+	ps := make([]JParticle, n)
+	for i := range ps {
+		x := vec.New(rng.Uniform(-1, 1), rng.Uniform(-1, 1), rng.Uniform(-1, 1))
+		v := vec.New(rng.Uniform(-0.1, 0.1), rng.Uniform(-0.1, 0.1), rng.Uniform(-0.1, 0.1))
+		ps[i] = makeJ(t, i, 0, 1/float64(n), x, v, vec.Zero, vec.Zero, vec.Zero)
+	}
+	return ps
+}
+
+// samePartials compares two force evaluations bit for bit.
+func samePartials(t *testing.T, label string, a, b *Chip, is []IParticle) {
+	t.Helper()
+	pa := make([]Partial, len(is))
+	pb := make([]Partial, len(is))
+	a.ForceBatchInto(pa, 0.001953125, is, 1.0/64)
+	b.ForceBatchInto(pb, 0.001953125, is, 1.0/64)
+	for i := range pa {
+		if pa[i] != pb[i] {
+			t.Fatalf("%s: partial %d differs between load paths", label, i)
+		}
+	}
+}
+
+func TestLoadJRangeMatchesLoadJ(t *testing.T) {
+	ps := streamJSet(t, 40, 71)
+	is := []IParticle{
+		makeI(t, 1000, vec.New(0.25, 0, 0), vec.Zero, 4, 4, 4),
+		makeI(t, 1001, vec.New(-0.5, 0.125, 0), vec.Zero, 4, 4, 4),
+	}
+	whole := New(Default)
+	if err := whole.LoadJ(ps); err != nil {
+		t.Fatal(err)
+	}
+	chunked := New(Default)
+	for _, cut := range [][2]int{{0, 15}, {15, 30}, {30, 40}} {
+		if err := chunked.LoadJRange(cut[0], ps[cut[0]:cut[1]]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if chunked.NJ() != whole.NJ() {
+		t.Fatalf("NJ = %d, want %d", chunked.NJ(), whole.NJ())
+	}
+	samePartials(t, "chunked", whole, chunked, is)
+
+	// Overwriting a middle range is equivalent to splicing the slice.
+	repl := streamJSet(t, 8, 72)
+	spliced := append(append(append([]JParticle{}, ps[:5]...), repl...), ps[13:]...)
+	if err := whole.LoadJ(spliced); err != nil {
+		t.Fatal(err)
+	}
+	if err := chunked.LoadJRange(5, repl); err != nil {
+		t.Fatal(err)
+	}
+	samePartials(t, "spliced", whole, chunked, is)
+}
+
+func TestLoadJRangeGrowthRefillsPlanes(t *testing.T) {
+	// Force a plane reallocation mid-stream: a small resident set, then a
+	// ranged write large enough to outgrow the backing arrays. The mass
+	// and id mirrors of the untouched low slots must survive.
+	ps := streamJSet(t, 300, 73)
+	is := []IParticle{makeI(t, 1000, vec.New(0.0625, 0, 0), vec.Zero, 4, 4, 4)}
+	whole := New(Default)
+	if err := whole.LoadJ(ps); err != nil {
+		t.Fatal(err)
+	}
+	grown := New(Default)
+	if err := grown.LoadJRange(0, ps[:16]); err != nil {
+		t.Fatal(err)
+	}
+	if err := grown.LoadJRange(16, ps[16:]); err != nil {
+		t.Fatal(err)
+	}
+	samePartials(t, "grown", whole, grown, is)
+}
+
+func TestTruncateJ(t *testing.T) {
+	ps := streamJSet(t, 300, 74)
+	is := []IParticle{makeI(t, 1000, vec.New(0.125, 0.0625, 0), vec.Zero, 4, 4, 4)}
+
+	short := New(Default)
+	if err := short.LoadJ(ps[:10]); err != nil {
+		t.Fatal(err)
+	}
+	// 300 -> 10 crosses the shrink-hysteresis threshold, so this also
+	// exercises the realloc-refill path.
+	trunc := New(Default)
+	if err := trunc.LoadJ(ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := trunc.TruncateJ(10); err != nil {
+		t.Fatal(err)
+	}
+	if trunc.NJ() != 10 {
+		t.Fatalf("NJ after truncate = %d, want 10", trunc.NJ())
+	}
+	samePartials(t, "truncated", short, trunc, is)
+}
+
+func TestStreamRangeErrors(t *testing.T) {
+	ch := New(Default)
+	ps := streamJSet(t, 8, 75)
+	if err := ch.LoadJRange(1, ps); err == nil {
+		t.Fatal("expected error for offset beyond contiguous range")
+	}
+	if err := ch.LoadJRange(-1, ps); err == nil {
+		t.Fatal("expected error for negative offset")
+	}
+	if err := ch.LoadJRange(0, make([]JParticle, Default.MemCapacity+1)); err == nil {
+		t.Fatal("expected error for capacity overflow")
+	}
+	if err := ch.LoadJRange(0, ps); err != nil {
+		t.Fatal(err)
+	}
+	if err := ch.TruncateJ(9); err == nil {
+		t.Fatal("expected error truncating beyond stored count")
+	}
+	if err := ch.TruncateJ(-1); err == nil {
+		t.Fatal("expected error truncating to negative count")
+	}
+	if err := ch.TruncateJ(8); err != nil {
+		t.Fatal(err)
+	}
+}

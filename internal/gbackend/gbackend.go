@@ -31,14 +31,22 @@ type Backend struct {
 	arr *board.Array
 	f   gfixed.Format
 
-	// Host-side copy of the hardware memory image, used to predict
+	// Host-side mirror of the hardware memory image, used to predict
 	// i-particles through the chip's exact datapath (so self-pairs cancel
-	// bit-exactly) and to rebuild particles on update.
+	// bit-exactly) and to rebuild particles on update. The mirror and the
+	// per-particle exponent tables persist across Load calls (grow-only),
+	// so Update patches only the changed slots and a reload reuses the
+	// fixed-point-ready staging wholesale.
 	js   []chip.JParticle
-	byID map[int]int // particle id → js index
-	expA []int       // per-particle block exponents (previous-step guess)
+	expA []int // per-particle block exponents (previous-step guess)
 	expJ []int
 	expP []int
+
+	// id → js index. idIdx is the dense fast path used when ids are
+	// compact (the 0..N-1 common case: one array read per i-particle on
+	// the hot Forces/Update paths); byID is the sparse fallback.
+	idIdx []int32
+	byID  map[int]int
 
 	// Counters for performance accounting and diagnostics.
 	HWCycles    int64 // hardware busy cycles
@@ -70,14 +78,13 @@ func (b *Backend) NJ() int { return b.arr.NJ() }
 
 // Load implements hermite.Backend.
 func (b *Backend) Load(sys *nbody.System) {
-	b.js = make([]chip.JParticle, sys.N)
-	clear(b.byID)
-	b.expA = make([]int, sys.N)
-	b.expJ = make([]int, sys.N)
-	b.expP = make([]int, sys.N)
+	b.js = growSlice(b.js, sys.N)[:sys.N]
+	b.expA = growSlice(b.expA, sys.N)[:sys.N]
+	b.expJ = growSlice(b.expJ, sys.N)[:sys.N]
+	b.expP = growSlice(b.expP, sys.N)[:sys.N]
+	b.rebuildIDIndex(sys)
 	for i := 0; i < sys.N; i++ {
 		b.js[i] = b.makeJ(sys, i)
-		b.byID[sys.ID[i]] = i
 		b.expA[i], b.expJ[i], b.expP[i] = b.guessExponents(sys, i)
 	}
 	if err := b.arr.LoadJ(b.js); err != nil {
@@ -86,11 +93,66 @@ func (b *Backend) Load(sys *nbody.System) {
 	}
 }
 
+// rebuildIDIndex installs the dense id table when the id space is
+// compact, the map otherwise.
+func (b *Backend) rebuildIDIndex(sys *nbody.System) {
+	maxID := -1
+	compact := true
+	for i := 0; i < sys.N; i++ {
+		id := sys.ID[i]
+		if id < 0 {
+			compact = false
+			break
+		}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	clear(b.byID)
+	if !compact || maxID >= 2*sys.N+64 {
+		b.idIdx = b.idIdx[:0]
+		for i := 0; i < sys.N; i++ {
+			b.byID[sys.ID[i]] = i
+		}
+		return
+	}
+	if cap(b.idIdx) < maxID+1 {
+		b.idIdx = make([]int32, maxID+1)
+	}
+	b.idIdx = b.idIdx[:maxID+1]
+	for k := range b.idIdx {
+		b.idIdx[k] = -1
+	}
+	for i := 0; i < sys.N; i++ {
+		b.idIdx[sys.ID[i]] = int32(i)
+	}
+}
+
+// slotOf returns the js index of id.
+//
+//grape:noalloc
+func (b *Backend) slotOf(id int) (int, bool) {
+	if d := b.idIdx; len(d) > 0 {
+		if id < 0 || id >= len(d) {
+			return 0, false
+		}
+		if v := d[id]; v >= 0 {
+			return int(v), true
+		}
+		return 0, false
+	}
+	v, ok := b.byID[id]
+	return v, ok
+}
+
 // Update implements hermite.Backend.
 func (b *Backend) Update(sys *nbody.System, idx []int) {
 	for _, i := range idx {
 		j := b.makeJ(sys, i)
-		k := b.byID[sys.ID[i]]
+		k, ok := b.slotOf(sys.ID[i])
+		if !ok {
+			panic(fmt.Sprintf("gbackend: update of unknown particle id %d", sys.ID[i]))
+		}
 		b.js[k] = j
 		if err := b.arr.UpdateJ(j); err != nil {
 			panic(fmt.Sprintf("gbackend: %v", err))
@@ -185,7 +247,7 @@ func (b *Backend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []
 	b.ksBuf = growSlice(b.ksBuf, n)
 	is, ks := b.isBuf, b.ksBuf
 	for q, id := range ids {
-		k, ok := b.byID[id]
+		k, ok := b.slotOf(id)
 		if !ok {
 			panic(fmt.Sprintf("gbackend: unknown particle id %d", id))
 		}

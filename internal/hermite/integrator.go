@@ -60,6 +60,11 @@ func isPow2(x float64) bool {
 type BlockStat struct {
 	Time float64 // system time of the block
 	Size int     // number of particles integrated in the block
+
+	// Bins is the number of occupied timestep bins when the block fired
+	// (scheduler occupancy; 0 for producers that do not track it, e.g.
+	// synthetic traces).
+	Bins int
 }
 
 // Integrator advances an N-body system with individual block timesteps.
@@ -79,6 +84,10 @@ type Integrator struct {
 	// Trace, when non-nil, receives one BlockStat per block step.
 	Trace func(BlockStat)
 
+	// sched buckets particles by step exponent so block selection is
+	// O(active block) instead of the O(N) MinTime scan.
+	sched *nbody.BlockSched
+
 	// scratch buffers
 	block []int
 	ids   []int
@@ -96,7 +105,7 @@ type Integrator struct {
 // host/GRAPE overlap. No-op for backends without predict-ahead support.
 func (it *Integrator) prefetchPredict() {
 	if it.pab != nil {
-		it.pab.BeginPredict(it.Sys.MinTime())
+		it.pab.BeginPredict(it.sched.NextTime())
 	}
 }
 
@@ -154,6 +163,7 @@ func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
 	}
 	it.Interactions += int64(sys.N) * int64(b.NJ())
 	b.Update(sys, ids)
+	it.sched = nbody.NewBlockSched(sys)
 	it.prefetchPredict()
 	return it, nil
 }
@@ -169,22 +179,19 @@ func correctedPot(pot, m, eps float64) float64 {
 
 // NextBlockTime returns the time of the next block to integrate.
 func (it *Integrator) NextBlockTime() float64 {
-	return it.Sys.MinTime()
+	return it.sched.NextTime()
 }
 
 // Step advances the system by one block step and returns its statistics.
 func (it *Integrator) Step() BlockStat {
 	sys := it.Sys
-	t := sys.MinTime()
+	t := it.sched.NextTime()
 
 	// Select the block: particles whose next time equals t exactly. Times
-	// and steps are exact binary fractions, so equality is reliable.
-	it.block = it.block[:0]
-	for i := 0; i < sys.N; i++ {
-		if sys.Time[i]+sys.Step[i] == t {
-			it.block = append(it.block, i)
-		}
-	}
+	// and steps are exact binary fractions, so equality is reliable, and
+	// the bucketed scheduler reproduces the retired O(N) scan's
+	// membership and ordering bit-for-bit in O(active block).
+	it.block = it.sched.AppendBlock(sys, t, it.block[:0])
 
 	nb := len(it.block)
 	it.ids = it.ids[:0]
@@ -219,6 +226,7 @@ func (it *Integrator) Step() BlockStat {
 
 		desired := AarsethStep(a1, j1, snap1, crackle, it.P.Eta)
 		sys.Step[i] = NextStep(sys.Step[i], desired, t, it.P.MinStep, it.P.MaxStep)
+		it.sched.Rebin(sys, i)
 	}
 
 	it.B.Update(sys, it.block)
@@ -229,7 +237,7 @@ func (it *Integrator) Step() BlockStat {
 	it.Blocks++
 	it.Interactions += int64(nb) * int64(it.B.NJ())
 
-	stat := BlockStat{Time: t, Size: nb}
+	stat := BlockStat{Time: t, Size: nb, Bins: it.sched.Bins()}
 	if it.Trace != nil {
 		it.Trace(stat)
 	}

@@ -1,0 +1,208 @@
+package nbody
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/xrand"
+)
+
+// scanNext is the retired O(N) selection the scheduler must reproduce
+// bit-for-bit: System.MinTime plus the exact-equality membership scan.
+func scanNext(sys *System) (float64, []int) {
+	t := sys.MinTime()
+	var block []int
+	for i := 0; i < sys.N; i++ {
+		if sys.Time[i]+sys.Step[i] == t {
+			block = append(block, i)
+		}
+	}
+	return t, block
+}
+
+// distinctExps counts the distinct step exponents present — the
+// occupancy the scheduler must report.
+func distinctExps(sys *System) int {
+	seen := map[int]bool{}
+	for i := 0; i < sys.N; i++ {
+		_, e := math.Frexp(sys.Step[i])
+		seen[e] = true
+	}
+	return len(seen)
+}
+
+// stepSystem builds a system with commensurate power-of-two steps in
+// [2^minExp, 2^maxExp] and Time 0 (every time is a multiple of every
+// step, as after integrator startup).
+func stepSystem(n int, minExp, maxExp int, rng *xrand.Source) *System {
+	sys := New(n)
+	for i := 0; i < n; i++ {
+		e := minExp + rng.Intn(maxExp-minExp+1)
+		sys.Step[i] = math.Ldexp(1, e)
+	}
+	return sys
+}
+
+// advance plays one block through both the scheduler and the reference
+// scan, failing on any divergence, and applies a random commensurate
+// step update (shrink ×1/2, grow ×2 when allowed, or keep) to each
+// fired particle — the same moves hermite.NextStep can make.
+func advance(t *testing.T, sys *System, s *BlockSched, rng *xrand.Source, block []int) []int {
+	t.Helper()
+	wantT, wantBlock := scanNext(sys)
+	if got := s.NextTime(); got != wantT {
+		t.Fatalf("NextTime = %v, want %v", got, wantT)
+	}
+	block = s.AppendBlock(sys, wantT, block[:0])
+	if len(block) != len(wantBlock) {
+		t.Fatalf("block size %d, want %d at t=%v", len(block), len(wantBlock), wantT)
+	}
+	for k := range block {
+		if block[k] != wantBlock[k] {
+			t.Fatalf("block[%d] = %d, want %d at t=%v", k, block[k], wantBlock[k], wantT)
+		}
+	}
+	for _, i := range block {
+		sys.Time[i] = wantT
+		dt := sys.Step[i]
+		switch rng.Intn(4) {
+		case 0:
+			dt /= 2
+		case 1:
+			// grow only onto a commensurate boundary, like NextStep
+			if wantT == math.Trunc(wantT/(2*dt))*(2*dt) {
+				dt *= 2
+			}
+		}
+		sys.Step[i] = dt
+		s.Rebin(sys, i)
+	}
+	return block
+}
+
+func TestBlockSchedMatchesScan(t *testing.T) {
+	rng := xrand.New(41)
+	sys := stepSystem(500, -12, -4, rng)
+	s := NewBlockSched(sys)
+	var block []int
+	for step := 0; step < 2000; step++ {
+		block = advance(t, sys, s, rng, block)
+		if step%97 == 0 {
+			if got, want := s.Bins(), distinctExps(sys); got != want {
+				t.Fatalf("step %d: Bins() = %d, want %d", step, got, want)
+			}
+		}
+	}
+}
+
+func TestBlockSchedRebuild(t *testing.T) {
+	rng := xrand.New(7)
+	sys := stepSystem(200, -10, -6, rng)
+	s := NewBlockSched(sys)
+	var block []int
+	for step := 0; step < 100; step++ {
+		block = advance(t, sys, s, rng, block)
+	}
+	// Wholesale rewrite: new steps, new times, then Rebuild.
+	for i := 0; i < sys.N; i++ {
+		e := -9 + rng.Intn(4)
+		sys.Step[i] = math.Ldexp(1, e)
+		sys.Time[i] = math.Trunc(sys.Time[i]/sys.Step[i]) * sys.Step[i]
+	}
+	s.Rebuild(sys)
+	for step := 0; step < 100; step++ {
+		block = advance(t, sys, s, rng, block)
+	}
+}
+
+func TestBlockSchedBinGrowth(t *testing.T) {
+	// Start with one narrow bin and force growth in both directions via
+	// Rebin: large steps above, tiny steps below the initial exponent.
+	sys := New(8)
+	for i := range sys.Step {
+		sys.Step[i] = math.Ldexp(1, -8)
+	}
+	s := NewBlockSched(sys)
+	if s.Bins() != 1 {
+		t.Fatalf("Bins() = %d, want 1", s.Bins())
+	}
+	rng := xrand.New(3)
+	var block []int
+	exps := []int{-40, 10, -8, -20, 2, -8, -33, -1}
+	t0 := s.NextTime()
+	block = s.AppendBlock(sys, t0, block[:0])
+	if len(block) != sys.N {
+		t.Fatalf("first block size %d, want %d", len(block), sys.N)
+	}
+	for k, i := range block {
+		sys.Time[i] = t0
+		sys.Step[i] = math.Ldexp(1, exps[k])
+		// keep Time commensurate with the new step
+		sys.Time[i] = math.Trunc(sys.Time[i]/sys.Step[i]) * sys.Step[i]
+		s.Rebin(sys, i)
+	}
+	if got, want := s.Bins(), distinctExps(sys); got != want {
+		t.Fatalf("Bins() = %d, want %d", got, want)
+	}
+	total := 0
+	s.EachBin(func(exp, count int) {
+		total += count
+		found := false
+		for i := 0; i < sys.N; i++ {
+			if _, e := math.Frexp(sys.Step[i]); e-1 == exp {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("EachBin reported exponent %d not present in system", exp)
+		}
+	})
+	if total != sys.N {
+		t.Fatalf("EachBin counts sum to %d, want %d", total, sys.N)
+	}
+	for step := 0; step < 200; step++ {
+		block = advance(t, sys, s, rng, block)
+	}
+}
+
+func TestBlockSchedRejectsBadStep(t *testing.T) {
+	for _, bad := range []float64{0, -0.25, 0.3, math.Inf(1), math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("step %v: expected panic", bad)
+				}
+			}()
+			sys := New(1)
+			sys.Step[0] = bad
+			NewBlockSched(sys)
+		}()
+	}
+}
+
+func TestBlockSchedSteadyStateAllocs(t *testing.T) {
+	rng := xrand.New(11)
+	sys := stepSystem(256, -10, -5, rng)
+	s := NewBlockSched(sys)
+	block := make([]int, 0, sys.N)
+	// Warm until the bin table and member slices reach steady state.
+	for step := 0; step < 500; step++ {
+		tn := s.NextTime()
+		block = s.AppendBlock(sys, tn, block[:0])
+		for _, i := range block {
+			sys.Time[i] = tn
+			s.Rebin(sys, i)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		tn := s.NextTime()
+		block = s.AppendBlock(sys, tn, block[:0])
+		for _, i := range block {
+			sys.Time[i] = tn
+			s.Rebin(sys, i)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state block step allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,0 +1,97 @@
+package timing
+
+import (
+	"math"
+	"testing"
+
+	"grape6/internal/perfmodel"
+	"grape6/internal/sched"
+	"grape6/internal/simnet"
+	"grape6/internal/units"
+	"grape6/internal/xrand"
+)
+
+// TestReportForBlocksMatchesMeasuredTrace feeds the block sizes measured
+// from a real scheduler-driven integration through ReportForBlocks and
+// requires exact agreement with Simulate on the recorded trace: the
+// explicit-sizes bridge and the trace replay must price identical block
+// structures identically. It also pins the new BlockStat.Bins channel —
+// every recorded block must report a plausible occupied-bin count from
+// the bucketed scheduler.
+func TestReportForBlocksMatchesMeasuredTrace(t *testing.T) {
+	tr, err := sched.Record(256, units.SoftConstant, 1.0/16, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Blocks) == 0 {
+		t.Fatal("empty measured trace")
+	}
+	sizes := make([]int, len(tr.Blocks))
+	for i, b := range tr.Blocks {
+		sizes[i] = b.Size
+		if b.Bins < 1 || b.Bins > 64 {
+			t.Fatalf("block %d: implausible scheduler bin count %d", i, b.Bins)
+		}
+		if b.Size < 1 || b.Size > tr.N {
+			t.Fatalf("block %d: implausible size %d", i, b.Size)
+		}
+	}
+
+	m := perfmodel.SingleNode(simnet.NS83820, perfmodel.Athlon)
+	want := Simulate(m, tr)
+	got := ReportForBlocks(m, tr.N, sizes)
+	if got.Blocks != want.Blocks || got.Steps != want.Steps {
+		t.Fatalf("counters differ: got %d/%d blocks/steps, want %d/%d",
+			got.Blocks, got.Steps, want.Blocks, want.Steps)
+	}
+	if got.Host != want.Host || got.Comm != want.Comm ||
+		got.Grape != want.Grape || got.Sync != want.Sync {
+		t.Fatalf("component totals differ: got %+v, want %+v", got, want)
+	}
+}
+
+// TestSynthetic64kDistribution validates the 64k block-size distribution
+// the timing pipeline runs on: a workload fitted to measured traces,
+// extrapolated to N = 65536, must produce a size stream whose
+// ReportForBlocks accounting is self-consistent and whose mean matches
+// the fit's MeanBlockSize prediction — the skew-preserving resampling
+// must not shift the first moment it was scaled to.
+func TestSynthetic64kDistribution(t *testing.T) {
+	w, err := sched.FitWorkload(units.SoftConstant, []int{256, 512}, 1.0/16, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 65536
+	synth := w.Synthetic(n, 1.0/64, xrand.New(11))
+	if len(synth.Blocks) == 0 {
+		t.Fatal("empty synthetic trace")
+	}
+	sizes := make([]int, len(synth.Blocks))
+	for i, b := range synth.Blocks {
+		sizes[i] = b.Size
+	}
+
+	m := perfmodel.SingleNode(simnet.NS83820, perfmodel.Athlon)
+	rep := ReportForBlocks(m, n, sizes)
+	if rep.Blocks != int64(len(sizes)) || rep.Steps != synth.TotalSteps() {
+		t.Fatalf("accounting: %d blocks %d steps, want %d blocks %d steps",
+			rep.Blocks, rep.Steps, len(sizes), synth.TotalSteps())
+	}
+	if rep.TimePerStep() <= 0 || math.IsInf(rep.TimePerStep(), 0) {
+		t.Fatalf("degenerate time per step %v", rep.TimePerStep())
+	}
+
+	mean := float64(rep.Steps) / float64(rep.Blocks)
+	want := w.MeanBlockSize(n)
+	if math.Abs(mean-want) > 0.25*want {
+		t.Fatalf("synthetic mean block %.1f drifted from fit prediction %.1f", mean, want)
+	}
+
+	// The explicit-size bridge and the trace replay must agree exactly on
+	// the synthetic trace too.
+	ref := Simulate(m, synth)
+	if rep.Host != ref.Host || rep.Grape != ref.Grape ||
+		rep.Comm != ref.Comm || rep.Sync != ref.Sync {
+		t.Fatalf("bridge totals differ from replay: %+v vs %+v", rep, ref)
+	}
+}

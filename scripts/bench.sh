@@ -1,11 +1,14 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr6.json so future PRs can track the trajectory.
+# BENCH_pr7.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
 # The tracked set covers the block-step hot path (predictor variants,
-# small-block steps, raw chip throughput), the Fig. 13 headline run whose
+# small-block steps, raw chip throughput), the block-timestep scheduler
+# against its retired O(N) scan baseline at N = 64k and N = 1M (the
+# PR-7 ≥10× overhead acceptance number), the streamed j-memory force
+# path and the Ahmad-Cohen steady state, the Fig. 13 headline run whose
 # model Gflops double as a regression canary for the cycle model, the
 # cache-blocked force kernel (full-depth chip and array passes plus the
 # j-tile-length sweep validating the Fig. 14 cache-model tile derivation),
@@ -15,28 +18,111 @@
 # (events/s on the handler and process paths, pinned allocation-free),
 # and the full-machine co-simulation (256 ranks emulating 64 boards × 32
 # chips) whose ns/op is the wall-clock the engine rework targets.
+# A GOMAXPROCS sweep (via -cpu 1,2,4,8) over the array force kernel and
+# the block-step benches records how the worker pool and the predict-
+# ahead overlap scale with host cores.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr6.json}"
+out="${1:-BENCH_pr7.json}"
 tmp="$(mktemp)"
-trap 'rm -f "$tmp"' EXIT
+objs="$(mktemp)"
+trap 'rm -f "$tmp" "$objs"' EXIT
+
+# parse [sweep] — turn `go test -bench` output on stdin into one JSON
+# object per line. Fields per input line:
+#   name iters ns/op [value unit]... [B/op] [allocs/op]
+# With sweep=1 the GOMAXPROCS value is taken from the benchmark name's
+# -N suffix and recorded as "procs"; otherwise the suffix is stripped.
+parse() {
+	awk -v sweep="${1:-0}" '
+	/^Benchmark/ {
+		name = $1
+		procs = ""
+		if (match(name, /-[0-9]+$/)) {
+			if (sweep) procs = substr(name, RSTART + 1)
+			name = substr(name, 1, RSTART - 1)
+		} else if (sweep) {
+			# -cpu 1 runs carry no -N suffix.
+			procs = 1
+		}
+		ns = ""; allocs = ""; gflops = ""
+		vtime = ""; comm = ""; sync = ""; events = ""
+		block = ""; mpairs = ""
+		for (i = 3; i < NF; i++) {
+			if ($(i+1) == "ns/op") ns = $i
+			if ($(i+1) == "allocs/op") allocs = $i
+			if ($(i+1) ~ /^Gflops/) gflops = $i
+			if ($(i+1) == "vtime_s") vtime = $i
+			if ($(i+1) == "comm_s") comm = $i
+			if ($(i+1) == "sync_s") sync = $i
+			if ($(i+1) == "events/s") events = $i
+			if ($(i+1) == "particles/block") block = $i
+			if ($(i+1) == "Mpairs/s") mpairs = $i
+		}
+		if (ns == "") next
+		line = sprintf("{\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
+		if (procs != "") line = line sprintf(", \"procs\": %s", procs)
+		if (allocs != "") line = line sprintf(", \"allocs_per_op\": %s", allocs)
+		if (gflops != "") line = line sprintf(", \"model_gflops\": %s", gflops)
+		if (block != "") line = line sprintf(", \"particles_per_block\": %s", block)
+		if (mpairs != "") line = line sprintf(", \"mpairs_per_s\": %s", mpairs)
+		if (vtime != "") line = line sprintf(", \"vtime_s\": %s", vtime)
+		if (comm != "") line = line sprintf(", \"comm_s\": %s", comm)
+		if (sync != "") line = line sprintf(", \"sync_s\": %s", sync)
+		if (events != "") line = line sprintf(", \"events_per_s\": %s", events)
+		print line "}"
+	}' >> "$objs"
+}
 
 go test . -run '^$' \
-	-bench 'BenchmarkPredictFull$|BenchmarkPredictStriped$|BenchmarkPredictSlotPatch$|BenchmarkSmallBlockStep$|BenchmarkEmulatedChipThroughput$|BenchmarkFig13SingleNode$' \
+	-bench 'BenchmarkPredictFull$|BenchmarkPredictStriped$|BenchmarkPredictSlotPatch$|BenchmarkSmallBlockStep$|BenchmarkEmulatedChipThroughput$|BenchmarkFig13SingleNode$|BenchmarkBlockSchedStep64k$|BenchmarkBlockScanStep64k$|BenchmarkAhmadCohenBlockStep$' \
 	-benchmem -benchtime=1s | tee "$tmp"
+parse < "$tmp"
+
+# The 1M scheduler pair and the streamed force path carry seconds of
+# per-round warmup, so they run a fixed iteration count.
+go test . -run '^$' \
+	-bench 'BenchmarkBlockSchedStep1M$|BenchmarkBlockScanStep1M$' \
+	-benchmem -benchtime=100x | tee "$tmp"
+parse < "$tmp"
+
+go test . -run '^$' \
+	-bench 'BenchmarkStreamLoadJ$' \
+	-benchmem -benchtime=3x | tee "$tmp"
+parse < "$tmp"
 
 go test ./internal/chip -run '^$' \
 	-bench 'BenchmarkForceBatch48$|BenchmarkForceBatch48x64k$|BenchmarkForceTiled$' \
-	-benchmem -benchtime=1s | tee -a "$tmp"
+	-benchmem -benchtime=1s | tee "$tmp"
+parse < "$tmp"
 
 go test ./internal/board -run '^$' \
 	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
-	-benchmem -benchtime=1s | tee -a "$tmp"
+	-benchmem -benchtime=1s | tee "$tmp"
+parse < "$tmp"
 
 go test ./internal/des -run '^$' \
 	-bench 'BenchmarkEngineEventsPerSec$|BenchmarkSleepProcCycle$' \
-	-benchmem -benchtime=2s | tee -a "$tmp"
+	-benchmem -benchtime=2s | tee "$tmp"
+parse < "$tmp"
+
+# GOMAXPROCS sweep: how the striped force kernel and the end-to-end
+# block step scale across 1/2/4/8 host cores.
+go test ./internal/board -run '^$' -cpu 1,2,4,8 \
+	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
+	-benchmem -benchtime=1s | tee "$tmp"
+parse 1 < "$tmp"
+
+go test . -run '^$' -cpu 1,2,4,8 \
+	-bench 'BenchmarkSmallBlockStep$' \
+	-benchmem -benchtime=1s | tee "$tmp"
+parse 1 < "$tmp"
+
+go test . -run '^$' -cpu 1,2,4,8 \
+	-bench 'BenchmarkStreamLoadJ$' \
+	-benchmem -benchtime=3x | tee "$tmp"
+parse 1 < "$tmp"
 
 # The co-simulations are deterministic in virtual time, so one iteration
 # per configuration is the measurement — the metrics of interest are the
@@ -44,39 +130,14 @@ go test ./internal/des -run '^$' \
 # ns/op wall-clock itself is the tracked number (acceptance: < 10 s).
 go test . -run '^$' \
 	-bench 'BenchmarkCosimRing$|BenchmarkCosimHybrid$|BenchmarkCosimFullMachine$' \
-	-benchtime=1x | tee -a "$tmp"
+	-benchtime=1x | tee "$tmp"
+parse < "$tmp"
 
-# Parse `go test -bench` lines into JSON. Fields per line:
-#   name iters ns/op [value unit]... [B/op] [allocs/op]
 awk '
-BEGIN { printf "[\n"; first = 1 }
-/^Benchmark/ {
-	name = $1
-	sub(/-[0-9]+$/, "", name)
-	ns = ""; allocs = ""; gflops = ""
-	vtime = ""; comm = ""; sync = ""; events = ""
-	for (i = 3; i < NF; i++) {
-		if ($(i+1) == "ns/op") ns = $i
-		if ($(i+1) == "allocs/op") allocs = $i
-		if ($(i+1) ~ /^Gflops/) gflops = $i
-		if ($(i+1) == "vtime_s") vtime = $i
-		if ($(i+1) == "comm_s") comm = $i
-		if ($(i+1) == "sync_s") sync = $i
-		if ($(i+1) == "events/s") events = $i
-	}
-	if (ns == "") next
-	if (!first) printf ",\n"
-	first = 0
-	printf "  {\"name\": \"%s\", \"ns_per_op\": %s", name, ns
-	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
-	if (gflops != "") printf ", \"model_gflops\": %s", gflops
-	if (vtime != "") printf ", \"vtime_s\": %s", vtime
-	if (comm != "") printf ", \"comm_s\": %s", comm
-	if (sync != "") printf ", \"sync_s\": %s", sync
-	if (events != "") printf ", \"events_per_s\": %s", events
-	printf "}"
-}
+BEGIN { printf "[\n" }
+NR > 1 { printf ",\n" }
+{ printf "  %s", $0 }
 END { printf "\n]\n" }
-' "$tmp" > "$out"
+' "$objs" > "$out"
 
 echo "bench: wrote $out"
