@@ -31,7 +31,9 @@ func isBitExactPath(path string) bool {
 // internal/xrand's explicit streams), time.Now, and floating-point /
 // accumulator updates inside `range` over a map (iteration order is
 // randomized, and block-float accumulation is order-sensitive by
-// design — that is what partition invariance is about).
+// design — that is what partition invariance is about). The
+// cross-package closure of the same contract is the puritydeep
+// analyzer's job.
 var Deterministic = &Analyzer{
 	Name: "deterministic",
 	Doc:  "forbid nondeterministic constructs in bit-exact packages",
@@ -60,20 +62,23 @@ func runDeterministic(p *Pass) {
 					p.Reportf(n.Pos(), "time.Now in bit-exact package: results must not depend on wall-clock time")
 				}
 			case *ast.RangeStmt:
-				checkMapRangeAccum(p, n)
+				forEachMapRangeAccum(p.Info, n, func(pos token.Pos, desc string) {
+					p.Reportf(pos, "%s", desc)
+				})
 			}
 			return true
 		})
 	}
 }
 
-// checkMapRangeAccum flags order-sensitive accumulation into state
-// declared outside a range-over-map body.
-func checkMapRangeAccum(p *Pass, rs *ast.RangeStmt) {
+// forEachMapRangeAccum emits order-sensitive accumulation into state
+// declared outside a range-over-map body. Shared between the
+// intraprocedural deterministic analyzer and puritydeep.
+func forEachMapRangeAccum(info *types.Info, rs *ast.RangeStmt, emit func(pos token.Pos, desc string)) {
 	if rs.X == nil {
 		return
 	}
-	tv, ok := p.Info.Types[rs.X]
+	tv, ok := info.Types[rs.X]
 	if !ok {
 		return
 	}
@@ -87,14 +92,14 @@ func checkMapRangeAccum(p *Pass, rs *ast.RangeStmt) {
 			case token.ASSIGN, token.DEFINE:
 				for i := range n.Lhs {
 					if i < len(n.Rhs) && selfReferential(n.Lhs[i], n.Rhs[i]) &&
-						isFloatExpr(p, n.Lhs[i]) && declaredOutside(p, n.Lhs[i], rs) {
-						p.Reportf(n.Pos(), "float accumulation over map iteration order (assignment to %s)", types.ExprString(n.Lhs[i]))
+						isFloatExpr(info, n.Lhs[i]) && declaredOutside(info, n.Lhs[i], rs) {
+						emit(n.Pos(), "float accumulation over map iteration order (assignment to "+types.ExprString(n.Lhs[i])+")")
 					}
 				}
 			default: // +=, -=, *=, ...
 				for _, lhs := range n.Lhs {
-					if isFloatExpr(p, lhs) && declaredOutside(p, lhs, rs) {
-						p.Reportf(n.Pos(), "float accumulation over map iteration order (%s %s)", types.ExprString(lhs), n.Tok)
+					if isFloatExpr(info, lhs) && declaredOutside(info, lhs, rs) {
+						emit(n.Pos(), "float accumulation over map iteration order ("+types.ExprString(lhs)+" "+n.Tok.String()+")")
 					}
 				}
 			}
@@ -105,12 +110,12 @@ func checkMapRangeAccum(p *Pass, rs *ast.RangeStmt) {
 			if !ok || (sel.Sel.Name != "Add" && sel.Sel.Name != "Merge") {
 				return true
 			}
-			s := p.Info.Selections[sel]
+			s := info.Selections[sel]
 			if s == nil || s.Kind() != types.MethodVal {
 				return true
 			}
-			if recvFromBitExact(s.Recv()) && declaredOutside(p, sel.X, rs) {
-				p.Reportf(n.Pos(), "accumulator %s.%s inside range over map: iteration order changes the rounding sequence", types.ExprString(sel.X), sel.Sel.Name)
+			if recvFromBitExact(s.Recv()) && declaredOutside(info, sel.X, rs) {
+				emit(n.Pos(), "accumulator "+types.ExprString(sel.X)+"."+sel.Sel.Name+" inside range over map: iteration order changes the rounding sequence")
 			}
 		}
 		return true
@@ -131,8 +136,8 @@ func selfReferential(lhs, rhs ast.Expr) bool {
 	return found
 }
 
-func isFloatExpr(p *Pass, e ast.Expr) bool {
-	tv, ok := p.Info.Types[e]
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
 	if !ok || tv.Type == nil {
 		return false
 	}
@@ -143,13 +148,13 @@ func isFloatExpr(p *Pass, e ast.Expr) bool {
 // declaredOutside reports whether the base variable of e is declared
 // outside the range statement (so a per-iteration update accumulates
 // across iterations).
-func declaredOutside(p *Pass, e ast.Expr, rs *ast.RangeStmt) bool {
+func declaredOutside(info *types.Info, e ast.Expr, rs *ast.RangeStmt) bool {
 	for {
 		switch x := ast.Unparen(e).(type) {
 		case *ast.Ident:
-			obj := p.Info.Uses[x]
+			obj := info.Uses[x]
 			if obj == nil {
-				obj = p.Info.Defs[x]
+				obj = info.Defs[x]
 			}
 			v, ok := obj.(*types.Var)
 			if !ok {

@@ -12,7 +12,8 @@ import (
 // The check is intraprocedural and syntactic over typed ASTs; escape
 // analysis is deliberately not modeled — a construct the compiler might
 // prove non-escaping is still flagged, because the hot path should not
-// depend on optimizer behavior.
+// depend on optimizer behavior. The transitive closure through
+// unannotated callees is the noallocdeep analyzer's job.
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
 	Doc:  "forbid allocating constructs in //grape:noalloc functions",
@@ -26,12 +27,20 @@ func runNoAlloc(p *Pass) {
 			if !ok || fd.Body == nil || !hasDirective(fd.Doc, noallocDirective) {
 				continue
 			}
-			checkNoAlloc(p, fd)
+			name := fd.Name.Name
+			forEachAlloc(p.Info, p.Pkg.Types, fd, func(pos token.Pos, desc string) {
+				p.Reportf(pos, "%s in noalloc function %s", desc, name)
+			})
 		}
 	}
 }
 
-func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
+// forEachAlloc walks one declared function (nested literals included)
+// and emits a (position, description) pair for every construct that
+// allocates on the steady-state path. It is shared between the
+// intraprocedural noalloc analyzer and the interprocedural closure
+// (noallocdeep), which differ only in where they point the walker.
+func forEachAlloc(info *types.Info, tpkg *types.Package, fd *ast.FuncDecl, emit func(pos token.Pos, desc string)) {
 	// First pass: append calls of the reuse form x = append(x, ...) grow
 	// a caller-owned buffer and are allowed (amortized, steady-state
 	// alloc-free once warm).
@@ -43,7 +52,7 @@ func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
 		}
 		for i := range as.Rhs {
 			call, ok := ast.Unparen(as.Rhs[i]).(*ast.CallExpr)
-			if ok && builtinName(p.Info, call.Fun) == "append" && len(call.Args) > 0 &&
+			if ok && builtinName(info, call.Fun) == "append" && len(call.Args) > 0 &&
 				types.ExprString(as.Lhs[i]) == types.ExprString(call.Args[0]) {
 				reused[call] = true
 			}
@@ -51,46 +60,45 @@ func checkNoAlloc(p *Pass, fd *ast.FuncDecl) {
 		return true
 	})
 
-	name := fd.Name.Name
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.CallExpr:
-			checkNoAllocCall(p, name, n, reused)
+			emitAllocCall(info, tpkg, n, reused, emit)
 		case *ast.CompositeLit:
-			switch p.Info.Types[n].Type.Underlying().(type) {
+			switch info.Types[n].Type.Underlying().(type) {
 			case *types.Map:
-				p.Reportf(n.Pos(), "map literal allocates in noalloc function %s", name)
+				emit(n.Pos(), "map literal allocates")
 			case *types.Slice:
-				p.Reportf(n.Pos(), "slice literal allocates in noalloc function %s", name)
+				emit(n.Pos(), "slice literal allocates")
 			}
 		case *ast.UnaryExpr:
 			if n.Op == token.AND {
 				if _, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
-					p.Reportf(n.Pos(), "pointer to composite literal escapes in noalloc function %s", name)
+					emit(n.Pos(), "pointer to composite literal escapes")
 				}
 			}
 		case *ast.FuncLit:
-			if capt := capturedVar(p, fd, n); capt != "" {
-				p.Reportf(n.Pos(), "closure captures %s by reference in noalloc function %s", capt, name)
+			if capt := capturedVar(info, fd, n); capt != "" {
+				emit(n.Pos(), "closure captures "+capt+" by reference")
 			}
 		case *ast.BinaryExpr:
 			if n.Op == token.ADD {
-				tv := p.Info.Types[n]
+				tv := info.Types[n]
 				if tv.Value == nil && isStringType(tv.Type) {
-					p.Reportf(n.Pos(), "string concatenation allocates in noalloc function %s", name)
+					emit(n.Pos(), "string concatenation allocates")
 				}
 			}
 		case *ast.GoStmt:
-			p.Reportf(n.Pos(), "go statement allocates a goroutine in noalloc function %s", name)
+			emit(n.Pos(), "go statement allocates a goroutine")
 		}
 		return true
 	})
 }
 
-func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, reused map[*ast.CallExpr]bool) {
-	switch bn := builtinName(p.Info, call.Fun); bn {
+func emitAllocCall(info *types.Info, tpkg *types.Package, call *ast.CallExpr, reused map[*ast.CallExpr]bool, emit func(token.Pos, string)) {
+	switch bn := builtinName(info, call.Fun); bn {
 	case "make", "new":
-		p.Reportf(call.Pos(), "%s allocates in noalloc function %s", bn, name)
+		emit(call.Pos(), bn+" allocates")
 		return
 	case "append":
 		if reused[call] {
@@ -102,12 +110,12 @@ func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, reused map[*ast.
 				return
 			}
 		}
-		p.Reportf(call.Pos(), "append to non-reused slice allocates in noalloc function %s", name)
+		emit(call.Pos(), "append to non-reused slice allocates")
 		return
 	case "panic":
 		// panic is a cold path but its argument still boxes eagerly.
 		if len(call.Args) == 1 {
-			checkBoxing(p, name, call.Args[0])
+			emitBoxing(info, tpkg, call.Args[0], emit)
 		}
 		return
 	case "":
@@ -116,11 +124,15 @@ func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, reused map[*ast.
 		return // len, cap, copy, min, max, ... are alloc-free
 	}
 
-	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
-		checkNoAllocConversion(p, name, call, tv.Type)
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		emitAllocConversion(info, call, tv.Type, emit)
 		return
 	}
-	sig, ok := p.Info.Types[call.Fun].Type.(*types.Signature)
+	if desc := allocatingStdlibCall(info, call); desc != "" {
+		emit(call.Pos(), desc)
+		// Its arguments may box as well; fall through to the check below.
+	}
+	sig, ok := info.Types[call.Fun].Type.(*types.Signature)
 	if !ok {
 		return
 	}
@@ -139,48 +151,80 @@ func checkNoAllocCall(p *Pass, name string, call *ast.CallExpr, reused map[*ast.
 			continue
 		}
 		if types.IsInterface(pt) {
-			checkBoxing(p, name, arg)
+			emitBoxing(info, tpkg, arg, emit)
 		}
 	}
 }
 
-func checkNoAllocConversion(p *Pass, name string, call *ast.CallExpr, target types.Type) {
+// allocatingStdlibCall recognizes calls into standard-library functions
+// that are known to allocate (the interprocedural walk cannot see their
+// bodies). The list is deliberately short and certain: formatting,
+// error construction, and the reflect-based sort entry points.
+func allocatingStdlibCall(info *types.Info, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return ""
+	}
+	switch fn.Pkg().Path() {
+	case "fmt":
+		return "fmt." + fn.Name() + " allocates"
+	case "errors":
+		if fn.Name() == "New" || fn.Name() == "Join" {
+			return "errors." + fn.Name() + " allocates"
+		}
+	case "sort":
+		switch fn.Name() {
+		case "Slice", "SliceStable", "Sort", "Stable":
+			return "sort." + fn.Name() + " allocates (interface conversion)"
+		}
+	}
+	return ""
+}
+
+func emitAllocConversion(info *types.Info, call *ast.CallExpr, target types.Type, emit func(token.Pos, string)) {
 	if len(call.Args) != 1 {
 		return
 	}
 	arg := call.Args[0]
 	if types.IsInterface(target) {
-		checkBoxing(p, name, arg)
+		emitBoxing(info, nil, arg, emit)
 		return
 	}
-	at := p.Info.Types[arg].Type
+	at := info.Types[arg].Type
 	if at == nil {
 		return
 	}
 	if isStringType(target) && isByteOrRuneSlice(at) ||
-		isByteOrRuneSlice(target) && isStringType(at) && p.Info.Types[arg].Value == nil {
-		p.Reportf(call.Pos(), "string conversion allocates in noalloc function %s", name)
+		isByteOrRuneSlice(target) && isStringType(at) && info.Types[arg].Value == nil {
+		emit(call.Pos(), "string conversion allocates")
 	}
 }
 
-// checkBoxing flags arg if storing it in an interface allocates:
+// emitBoxing flags arg if storing it in an interface allocates:
 // constants, nil, interfaces, and pointer-shaped values are exempt.
-func checkBoxing(p *Pass, name string, arg ast.Expr) {
-	tv := p.Info.Types[arg]
+func emitBoxing(info *types.Info, tpkg *types.Package, arg ast.Expr, emit func(token.Pos, string)) {
+	tv := info.Types[arg]
 	if tv.Value != nil || tv.IsNil() || tv.Type == nil {
 		return
 	}
 	if types.IsInterface(tv.Type) || isPointerShaped(tv.Type) {
 		return
 	}
-	p.Reportf(arg.Pos(), "interface boxing of %s allocates in noalloc function %s",
-		types.TypeString(tv.Type, types.RelativeTo(p.Pkg.Types)), name)
+	qual := types.Qualifier(nil)
+	if tpkg != nil {
+		qual = types.RelativeTo(tpkg)
+	}
+	emit(arg.Pos(), "interface boxing of "+types.TypeString(tv.Type, qual)+" allocates")
 }
 
 // capturedVar returns the name of a variable the func literal captures
 // from the enclosing function, or "" if it captures nothing (a
 // capture-free literal compiles to a static func value — no alloc).
-func capturedVar(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
+func capturedVar(info *types.Info, fd *ast.FuncDecl, lit *ast.FuncLit) string {
 	var name string
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		if name != "" {
@@ -190,7 +234,7 @@ func capturedVar(p *Pass, fd *ast.FuncDecl, lit *ast.FuncLit) string {
 		if !ok {
 			return true
 		}
-		v, ok := p.Info.Uses[id].(*types.Var)
+		v, ok := info.Uses[id].(*types.Var)
 		if !ok || v.IsField() {
 			return true
 		}

@@ -1,0 +1,56 @@
+// Fixture for the call-graph builder: one function per edge-resolution
+// rule. The test asserts the exact edges and dynamic sites, so this file
+// is structure, not findings — it carries no want comments.
+package callgraph
+
+type T struct{ n int }
+
+func (t *T) M() { t.n++ }
+
+type I interface{ M() }
+
+func leaf() {}
+
+// static call → EdgeStatic to leaf.
+func static() { leaf() }
+
+// concrete method call → EdgeMethod to (*T).M.
+func method(t *T) { t.M() }
+
+// interface dispatch → conservative EdgeInterface to every module
+// implementation (here: (*T).M), with the reason recorded.
+func iface(i I) { i.M() }
+
+// func value bound once to a declared function → EdgeFuncValue.
+func funcval() {
+	f := leaf
+	f()
+}
+
+// method value bound once → EdgeFuncValue to (*T).M.
+func methodval(t *T) {
+	f := t.M
+	f()
+}
+
+// a called func literal is attributed to the encloser: no edge, no
+// dynamic site, and the closure's effects count as closure()'s own.
+func closure() []int {
+	var out []int
+	f := func() { out = make([]int, 4) }
+	f()
+	return out
+}
+
+// go statement → EdgeGo.
+func spawn() { go leaf() }
+
+// defer statement → EdgeDefer.
+func deferred() { defer leaf() }
+
+// call of an indexed func value → DynamicSite (unresolvable).
+func dyn(fs []func()) { fs[0]() }
+
+// a declared function passed as a value → EdgeRef (whoever receives it
+// may call it).
+func reffer(run func(func())) { run(leaf) }

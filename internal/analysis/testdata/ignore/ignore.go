@@ -16,10 +16,21 @@ func checksum2(x float64) uint64 {
 }
 
 // wrongName shows a directive naming a different analyzer does not
-// suppress.
+// suppress — and, since it then suppresses nothing, the audit flags it
+// as stale.
 func wrongName(x float64) uint64 {
-	//grapelint:ignore noalloc directive names the wrong analyzer
+	//grapelint:ignore noalloc directive names the wrong analyzer // want "unused suppression: no noalloc finding"
 	return math.Float64bits(x) // want "math.Float64bits"
+}
+
+// multiline shows a directive above a multi-line statement covers
+// findings on the continuation lines too (the finding below sits one
+// line past the directive's line-above window and is matched through
+// the enclosing statement's extent).
+func multiline(a, b float64) uint64 {
+	//grapelint:ignore gfixedboundary the ECC word folds both raw IEEE encodings
+	return math.Float64bits(a) ^
+		math.Float64bits(b)
 }
 
 // malformed shows a directive without analyzer and reason is itself a

@@ -1,0 +1,20 @@
+// Fixture for noallocdeep: an allocation two calls below a
+// //grape:noalloc kernel is reported with the full hop-by-hop call
+// chain; an unresolvable call under a kernel is reported too.
+package noallocdeep
+
+//grape:noalloc
+func kernel(n int) int { return level1(n) }
+
+func level1(n int) int { return len(level2(n)) }
+
+func level2(n int) []int {
+	return make([]int, n) // want "make allocates in noallocdeep.level2, reachable from //grape:noalloc kernel noallocdeep.kernel via noallocdeep.kernel -> noallocdeep.level1 (na.go:7) -> noallocdeep.level2 (na.go:9)"
+}
+
+type hooks struct{ fn func() }
+
+//grape:noalloc
+func kernelDyn(h *hooks) {
+	h.fn() // want "unresolvable call (call through func-valued field fn) in noallocdeep.kernelDyn"
+}

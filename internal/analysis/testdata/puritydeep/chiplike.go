@@ -1,0 +1,13 @@
+// Fixture for puritydeep, type-checked under the fake bit-exact path
+// "grape6/internal/chip": calling into the impure helper package is
+// clean intraprocedurally but must be flagged by the cross-package
+// closure.
+package chiplike
+
+import "fixture/impure"
+
+// Predict is a bit-exact-package function reaching nondeterminism one
+// package over.
+func Predict(x float64) float64 {
+	return x + impure.Jitter()
+}

@@ -1,0 +1,15 @@
+// The helper package a bit-exact fixture package reaches across a
+// package boundary: its nondeterminism is invisible to the
+// intraprocedural deterministic analyzer (wrong package path) and is
+// exactly what puritydeep exists to catch.
+package impure
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter mixes the two classic nondeterminism sources.
+func Jitter() float64 {
+	return rand.Float64() * float64(time.Now().UnixNano())
+}

@@ -178,9 +178,9 @@ type Array struct {
 	jhost       []chip.JParticle
 	pageScratch []chip.Partial // per-page partials merged into dst
 
-	mu      sync.Mutex // guards pool creation and Close
-	workers []*forceWorker
-	scratch []chip.Partial // serial-path per-chip scratch, reused across calls
+	mu      sync.Mutex                     // serializes pool spawn and Close (slow paths)
+	workers atomic.Pointer[[]*forceWorker] // force paths read it lock-free
+	scratch []chip.Partial                 // serial-path per-chip scratch, reused across calls
 
 	fc          forceCall   // striped force-stage state, reused across calls
 	pc          predictCall // striped predict-stage state, reused across calls
@@ -348,6 +348,7 @@ type jobKind uint8
 const (
 	jobForce jobKind = iota
 	jobPredict
+	jobFused // predict, spin-barrier, force — one handoff for both stages
 )
 
 // poolJob is one stage broadcast to every pool worker. The call state is
@@ -372,12 +373,19 @@ type forceCall struct {
 
 // predictCall is the shared state of one striped predict stage: spans
 // cover every chip whose prediction cache does not already hold time t.
+// The wg WaitGroup joins the standalone (async-prefetch) stage. The
+// fused predict+force job instead meets at the in-pool barrier: left
+// counts the workers still predicting (its last decrementer marks the
+// caches valid) and barrier parks the rest until it has — so the
+// synchronous path pays one channel handoff per worker for both stages.
 type predictCall struct {
-	t     float64
-	chips []*chip.Chip
-	units []span
-	next  int64
-	wg    sync.WaitGroup
+	t       float64
+	chips   []*chip.Chip
+	units   []span
+	next    int64
+	wg      sync.WaitGroup
+	left    atomic.Int32   // fused barrier: workers still predicting
+	barrier sync.WaitGroup // fused barrier: drops to zero once caches are marked
 }
 
 // forceWorker is one persistent pool goroutine with reusable result
@@ -402,6 +410,9 @@ func (w *forceWorker) run() {
 		case jobPredict:
 			w.doPredict(job.predict)
 			job.predict.wg.Done()
+		case jobFused:
+			w.doFused(job.predict, job.force)
+			job.force.wg.Done()
 		}
 	}
 }
@@ -454,9 +465,34 @@ func (w *forceWorker) doPredict(c *predictCall) {
 	}
 }
 
+// doFused runs both pool stages on one handoff: predict, an internal
+// barrier, then force. The last worker out of the predict half (left
+// hits zero; the atomic gives it happens-before over every striped
+// cache write) marks all caches valid and opens the barrier; the rest
+// park on the barrier WaitGroup — parking, not spinning, because the
+// pool is routinely oversubscribed on small hosts and measured spin
+// barriers lost 4x there. The caller still pays only one channel send
+// per worker per evaluation for both stages.
+//
+//grape:noalloc
+func (w *forceWorker) doFused(pc *predictCall, fc *forceCall) {
+	w.doPredict(pc)
+	if pc.left.Add(-1) == 0 {
+		for _, ch := range pc.chips {
+			ch.MarkPredicted(pc.t)
+		}
+		pc.barrier.Done()
+	} else {
+		//grapelint:ignore hotblock fused-stage barrier: parks only until the last predicting worker marks the caches; measured faster than spinning on oversubscribed hosts (BENCH_pr8.json)
+		pc.barrier.Wait()
+	}
+	w.doForce(fc)
+}
+
 // growPartials returns s with length ≥ n, reallocating only on growth.
 func growPartials(s []chip.Partial, n int) []chip.Partial {
 	if cap(s) < n {
+		//grapelint:ignore noallocdeep grow-only slab: reallocates only when the batch outgrows the high-water mark, never in steady state (alloc_test.go locks 0 allocs/op)
 		return make([]chip.Partial, n)
 	}
 	return s[:n]
@@ -464,19 +500,29 @@ func growPartials(s []chip.Partial, n int) []chip.Partial {
 
 // pool returns the persistent workers, spawning them on first use: one
 // per GOMAXPROCS, independent of the chip count, since work is striped by
-// (chip, j-range) spans rather than whole chips.
+// (chip, j-range) spans rather than whole chips. The steady-state path
+// is a single lock-free atomic load; the mutex only serializes the
+// first spawn (and respawn after Close) against concurrent Closes.
+//
+//grape:hotpath
 func (a *Array) pool() []*forceWorker {
+	if ws := a.workers.Load(); ws != nil {
+		return *ws
+	}
+	//grapelint:ignore hotblock spawn-once slow path: taken on the first evaluation after New or Close; every later call returns on the atomic load above
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	if a.workers == nil {
-		a.workers = make([]*forceWorker, runtime.GOMAXPROCS(0))
-		for wi := range a.workers {
-			w := &forceWorker{jobs: make(chan poolJob)}
-			a.workers[wi] = w
-			go w.run()
-		}
+	if ws := a.workers.Load(); ws != nil {
+		return *ws
 	}
-	return a.workers
+	ws := make([]*forceWorker, runtime.GOMAXPROCS(0))
+	for wi := range ws {
+		w := &forceWorker{jobs: make(chan poolJob)}
+		ws[wi] = w
+		go w.run()
+	}
+	a.workers.Store(&ws)
+	return ws
 }
 
 // Close shuts down the worker pool, joining any in-flight predict stage
@@ -487,10 +533,12 @@ func (a *Array) Close() {
 	a.joinPredict()
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	for _, w := range a.workers {
-		close(w.jobs)
+	if ws := a.workers.Load(); ws != nil {
+		for _, w := range *ws {
+			close(w.jobs)
+		}
+		a.workers.Store(nil)
 	}
-	a.workers = nil
 }
 
 // BeginPredict starts the pool-wide predict stage for time t — every
@@ -505,6 +553,8 @@ func (a *Array) Close() {
 //
 // On a single-core host (or a tiny j-memory) it is a no-op; the chips
 // predict lazily in the force pass instead.
+//
+//grape:hotpath
 func (a *Array) BeginPredict(t float64) {
 	if a.predPending {
 		if a.pc.t == t {
@@ -524,6 +574,10 @@ func (a *Array) BeginPredict(t float64) {
 // startPredict stripes prediction at time t across the pool without
 // waiting; nj is the currently chip-resident particle count (the loaded
 // set, or one page of it). Any previous stage must have been joined.
+// Only the async prefetch (BeginPredict) dispatches through here; the
+// synchronous force path fuses prediction into its own broadcast.
+//
+//grape:hotpath
 func (a *Array) startPredict(t float64, nj int) {
 	pc := &a.pc
 	pc.units = pc.units[:0]
@@ -549,6 +603,7 @@ func (a *Array) startPredict(t float64, nj int) {
 	workers := a.pool()
 	pc.wg.Add(len(workers))
 	for _, w := range workers {
+		//grapelint:ignore hotblock async prefetch dispatch: these sends overlap host-side work by design (the jobs park until joinPredict)
 		w.jobs <- poolJob{kind: jobPredict, predict: pc}
 	}
 	a.predPending = true
@@ -557,10 +612,13 @@ func (a *Array) startPredict(t float64, nj int) {
 // joinPredict waits for an in-flight predict stage and validates the
 // chips' caches. The join happens-before the cache marking, so the
 // striped writes are visible to whoever runs the force pass next.
+//
+//grape:hotpath
 func (a *Array) joinPredict() {
 	if !a.predPending {
 		return
 	}
+	//grapelint:ignore hotblock the sanctioned join of the async prefetch; the fast path (no prefetch in flight) returns on the flag check above
 	a.pc.wg.Wait()
 	a.predPending = false
 	for _, ch := range a.chips {
@@ -581,6 +639,8 @@ func (a *Array) joinPredict() {
 // computed analytically from the workload shape (chip.Config.BatchCycles),
 // so it is independent of how the emulation stripes the work across host
 // cores.
+//
+//grape:hotpath
 func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
 	if len(dst) < len(is) {
 		panic(fmt.Sprintf("board: partial slab of %d for %d i-particles", len(dst), len(is)))
@@ -597,6 +657,8 @@ func (a *Array) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, e
 // the lockstep chip cycles WITHOUT the reduction-tree latency — the
 // caller adds reductionCycles once per evaluation, since the paged path
 // merges page partials host-side and pays the trees once.
+//
+//grape:hotpath
 func (a *Array) forcesResident(dst []chip.Partial, t float64, is []chip.IParticle, eps float64, nj int) int64 {
 	nc := len(a.chips)
 	n := len(is)
@@ -624,27 +686,57 @@ func (a *Array) forcesResident(dst []chip.Partial, t float64, is []chip.IParticl
 	}
 
 	// Predict stage: if the prefetch did not already run (or ran for a
-	// different time), stripe it across the pool now — the force spans
-	// below touch chips concurrently and must find the caches hot.
-	a.startPredict(t, nj)
-	a.joinPredict()
+	// different time), the spans ride the force broadcast as a fused job —
+	// the workers predict, meet at an internal spin barrier, and roll
+	// straight into the force spans, so the synchronous path pays one
+	// channel handoff per worker per evaluation instead of two plus a
+	// WaitGroup join (ROADMAP item 3, measured in BENCH_pr8.json).
+	pc := &a.pc
+	pc.units = pc.units[:0]
+	// Tile-aligned spans: each claim is a whole number of j-tiles, so the
+	// chips' cache blocking and the pool's dynamic striping compose. The
+	// predict stage shares the geometry so one span list layout serves
+	// both halves of the fused job.
+	l := stripeLen(nj, a.cfg.Chip.TileLen())
+	for ci, ch := range a.chips {
+		if !ch.PredictedAt(t) {
+			pc.units = appendSpans(pc.units, ci, ch.NJ(), l)
+		}
+	}
+	needPredict := len(pc.units) > 0
+	if needPredict {
+		pc.t, pc.chips, pc.next = t, a.chips, 0
+	} else {
+		// Every cache already holds t (an empty memory trivially so).
+		for _, ch := range a.chips {
+			ch.MarkPredicted(t)
+		}
+	}
 
 	// Force stage: stripe (chip, j-range) spans across the pool.
 	fc := &a.fc
 	fc.t, fc.is, fc.eps, fc.chips = t, is, eps, a.chips
 	fc.units = fc.units[:0]
-	// Tile-aligned spans: each claim is a whole number of j-tiles, so the
-	// chips' cache blocking and the pool's dynamic striping compose.
-	l := stripeLen(nj, a.cfg.Chip.TileLen())
 	for ci, ch := range a.chips {
 		fc.units = appendSpans(fc.units, ci, ch.NJ(), l)
 	}
 	fc.next = 0
 	workers := a.pool()
 	fc.wg.Add(len(workers))
-	for _, w := range workers {
-		w.jobs <- poolJob{kind: jobForce, force: fc}
+	if needPredict {
+		pc.left.Store(int32(len(workers)))
+		pc.barrier.Add(1)
+		for _, w := range workers {
+			//grapelint:ignore hotblock one parking handoff per worker per evaluation: the fused job replaces the former predict broadcast + join + force broadcast (BENCH_pr8.json)
+			w.jobs <- poolJob{kind: jobFused, predict: pc, force: fc}
+		}
+	} else {
+		for _, w := range workers {
+			//grapelint:ignore hotblock one parking handoff per worker per evaluation: prediction was prefetched, only the force stage dispatches (BENCH_pr8.json)
+			w.jobs <- poolJob{kind: jobForce, force: fc}
+		}
 	}
+	//grapelint:ignore hotblock the single sanctioned join per evaluation: the caller must not touch dst or the slabs while workers run
 	fc.wg.Wait()
 	fc.is = nil // do not retain the caller's batch across calls
 
@@ -704,6 +796,8 @@ func (a *Array) chipPageLen() int {
 // bit-identical to a hypothetical unbounded-memory resident evaluation
 // (the Section 3.4 partition invariance), and the reduction-tree
 // latency is paid once, as the hardware would.
+//
+//grape:hotpath
 func (a *Array) forcesPaged(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
 	n := len(is)
 	nc := len(a.chips)

@@ -64,7 +64,7 @@ func TestGoldenBitIdentityWorkerPool(t *testing.T) {
 	forceParallel(t)
 	got := goldenWorkloadHash(t, smallConfig(), func(a *Array, is []chip.IParticle) []*chip.Partial {
 		out, _ := forces(a, 0.015625, is, 1.0/64)
-		if len(a.workers) == 0 {
+		if ws := a.workers.Load(); ws == nil || len(*ws) == 0 {
 			t.Fatal("worker pool did not engage for the golden workload")
 		}
 		return out

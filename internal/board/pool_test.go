@@ -22,20 +22,22 @@ func TestWorkerPoolPersistsAcrossCalls(t *testing.T) {
 
 	// First large call spawns the pool.
 	r1, _ := forces(a, 0, is[:64], 1.0/64)
-	workers := a.workers
-	if len(workers) == 0 {
+	wp := a.workers.Load()
+	if wp == nil || len(*wp) == 0 {
 		t.Fatal("no worker pool after a large Forces call")
 	}
+	workers := *wp
 
 	// Further calls — larger, smaller, and tiny (serial path) — reuse it.
 	forces(a, 0, is[:128], 1.0/64)
 	forces(a, 0, is[:16], 1.0/64)
 	r2, _ := forces(a, 0, is[:64], 1.0/64)
-	if len(a.workers) != len(workers) {
-		t.Errorf("pool respawned: %d workers, then %d", len(workers), len(a.workers))
+	now := *a.workers.Load()
+	if len(now) != len(workers) {
+		t.Errorf("pool respawned: %d workers, then %d", len(workers), len(now))
 	}
 	for w := range workers {
-		if a.workers[w] != workers[w] {
+		if now[w] != workers[w] {
 			t.Errorf("worker %d replaced between calls", w)
 		}
 	}
@@ -54,7 +56,7 @@ func TestCloseIsIdempotentAndRespawns(t *testing.T) {
 	before, _ := forces(a, 0, is[:64], 1.0/64)
 	a.Close()
 	a.Close() // double close must not panic
-	if a.workers != nil {
+	if a.workers.Load() != nil {
 		t.Fatal("workers not cleared by Close")
 	}
 
@@ -96,6 +98,31 @@ func BenchmarkArrayForces(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a.ForcesInto(dst, 0, is[:48], 1.0/64)
+	}
+}
+
+// BenchmarkArrayDispatch isolates the pool's per-evaluation
+// synchronization cost: a small i-batch against a modest j-set, with the
+// evaluation time advancing every iteration so the predict stage can
+// never be skipped — the per-block-step pattern of the integrator. The
+// work per span is tiny, so the ns/op is dominated by the dispatch
+// machinery this benchmark tracks: with the fused predict+force job it
+// is one channel handoff per worker plus one WaitGroup join, where the
+// split stages paid two handoffs and two joins. Steady state must stay
+// allocation-free.
+func BenchmarkArrayDispatch(b *testing.B) {
+	old := runtime.GOMAXPROCS(4) // engage the pool even on small hosts
+	defer runtime.GOMAXPROCS(old)
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(b, a, 2048, 1)
+	dst := make([]chip.Partial, 4)
+	a.ForcesInto(dst, 0, is[:4], 1.0/64) // warm up pool and worker slabs
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := float64(i+1) * 0x1p-20
+		a.ForcesInto(dst, t, is[:4], 1.0/64)
 	}
 }
 

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr7.json so future PRs can track the trajectory.
+# BENCH_pr8.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
@@ -20,11 +20,14 @@
 # chips) whose ns/op is the wall-clock the engine rework targets.
 # A GOMAXPROCS sweep (via -cpu 1,2,4,8) over the array force kernel and
 # the block-step benches records how the worker pool and the predict-
-# ahead overlap scale with host cores.
+# ahead overlap scale with host cores. BenchmarkArrayDispatch tracks the
+# pool's per-evaluation synchronization cost (the PR-8 fused
+# predict+force dispatch: one channel handoff per worker per evaluation
+# instead of two, with an in-pool parking barrier between the stages).
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr7.json}"
+out="${1:-BENCH_pr8.json}"
 tmp="$(mktemp)"
 objs="$(mktemp)"
 trap 'rm -f "$tmp" "$objs"' EXIT
@@ -98,7 +101,7 @@ go test ./internal/chip -run '^$' \
 parse < "$tmp"
 
 go test ./internal/board -run '^$' \
-	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$' \
+	-bench 'BenchmarkArrayForces$|BenchmarkArrayForces64k$|BenchmarkArrayDispatch$' \
 	-benchmem -benchtime=1s | tee "$tmp"
 parse < "$tmp"
 

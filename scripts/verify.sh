@@ -7,8 +7,11 @@
 #   or anything concurrent):
 #   go vet + race detector across the whole module
 # Tier 3 (repo-native static analysis, required for every change):
-#   grapelint — the noalloc/deterministic/nodeprecated/gfixedboundary/
-#   goroutinejoin suite (DESIGN.md §7). Findings fail the gauntlet.
+#   grapelint — the intraprocedural suite (noalloc/deterministic/
+#   nodeprecated/gfixedboundary/goroutinejoin) plus the interprocedural
+#   closures over the module call graph (noallocdeep/hotblock/
+#   puritydeep) and the stale-suppression audit (DESIGN.md §7).
+#   Findings fail the gauntlet.
 # Tier 4 (fuzz, full gauntlet only):
 #   the gfixed differential fuzz targets, 10s each — the rounding and
 #   accumulation hot paths against their references.
