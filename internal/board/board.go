@@ -178,6 +178,12 @@ type Array struct {
 	jhost       []chip.JParticle
 	pageScratch []chip.Partial // per-page partials merged into dst
 
+	// loadBuckets is the per-chip staging of LoadJ, reused across calls
+	// so that swapping j-sets (the grape6d scheduler re-loads a session's
+	// j-image every time it swaps a tenant in) allocates nothing in
+	// steady state.
+	loadBuckets [][]chip.JParticle
+
 	mu      sync.Mutex                     // serializes pool spawn and Close (slow paths)
 	workers atomic.Pointer[[]*forceWorker] // force paths read it lock-free
 	scratch []chip.Partial                 // serial-path per-chip scratch, reused across calls
@@ -287,10 +293,12 @@ func (a *Array) LoadJ(ps []chip.JParticle) error {
 	}
 	a.paged = false
 	a.jhost = a.jhost[:0]
-	buckets := make([][]chip.JParticle, nc)
-	per := (len(ps) + nc - 1) / nc
+	if len(a.loadBuckets) != nc {
+		a.loadBuckets = make([][]chip.JParticle, nc)
+	}
+	buckets := a.loadBuckets
 	for i := range buckets {
-		buckets[i] = make([]chip.JParticle, 0, per)
+		buckets[i] = buckets[i][:0]
 	}
 	for i, p := range ps {
 		buckets[i%nc] = append(buckets[i%nc], p)
@@ -830,6 +838,43 @@ func (a *Array) forcesPaged(dst []chip.Partial, t float64, is []chip.IParticle, 
 		}
 	}
 	return cycles + a.reductionCycles()
+}
+
+// BatchCyclesFor returns the hardware cycles a ForcesInto of ni
+// i-particles against the currently loaded j-set would report, without
+// evaluating anything. It mirrors the evaluation paths exactly — the
+// lockstep maximum over per-chip BatchCycles plus the reduction-tree
+// latency in resident mode, the per-page sum of chunk maxima plus one
+// reduction in paged mode — so a multi-tenant scheduler can charge each
+// coalesced sub-request the cycles a dedicated attachment would have
+// charged it: occupancy is shared, accounting is not.
+func (a *Array) BatchCyclesFor(ni int) int64 {
+	if a.paged {
+		nc := len(a.chips)
+		total := len(a.jhost)
+		fleetPage := nc * a.chipPageLen()
+		npages := (total + fleetPage - 1) / fleetPage
+		var cycles int64
+		for p := 0; p < npages; p++ {
+			m := (p+1)*total/npages - p*total/npages
+			var maxCycles int64
+			for c := 0; c < nc; c++ {
+				chunk := (c+1)*m/nc - c*m/nc
+				if cy := a.cfg.Chip.BatchCycles(ni, chunk); cy > maxCycles {
+					maxCycles = cy
+				}
+			}
+			cycles += maxCycles
+		}
+		return cycles + a.reductionCycles()
+	}
+	var maxCycles int64
+	for _, ch := range a.chips {
+		if cy := a.cfg.Chip.BatchCycles(ni, ch.NJ()); cy > maxCycles {
+			maxCycles = cy
+		}
+	}
+	return maxCycles + a.reductionCycles()
 }
 
 // reductionCycles returns the pipeline latency of the three-level

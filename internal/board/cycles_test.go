@@ -1,0 +1,82 @@
+package board
+
+import (
+	"testing"
+
+	"grape6/internal/chip"
+)
+
+// TestBatchCyclesForMatchesForcesInto pins the analytic per-batch cycle
+// accounting against what the evaluation paths actually report, in
+// resident serial, resident pooled, and paged mode — the grape6d
+// scheduler leans on this equality to charge coalesced sub-requests
+// exactly what a dedicated attachment would have charged.
+func TestBatchCyclesForMatchesForcesInto(t *testing.T) {
+	check := func(name string, a *Array, is []chip.IParticle, sizes []int) {
+		t.Helper()
+		dst := make([]chip.Partial, len(is))
+		for _, n := range sizes {
+			want := a.ForcesInto(dst[:n], 0.015625, is[:n], 1.0/64)
+			got := a.BatchCyclesFor(n)
+			if got != want {
+				t.Errorf("%s: BatchCyclesFor(%d) = %d, ForcesInto reported %d", name, n, got, want)
+			}
+		}
+	}
+
+	a := New(smallConfig())
+	defer a.Close()
+	_, is := loadPlummer(t, a, 512, 42)
+	check("resident serial", a, is, []int{1, 4, 48, 96})
+
+	forceParallel(t)
+	b := New(smallConfig())
+	defer b.Close()
+	_, is2 := loadPlummer(t, b, 2048, 7)
+	check("resident pooled", b, is2, []int{48, 96, 200})
+
+	// Paged: shrink per-chip memory so a 512-particle set streams in pages.
+	cfg := smallConfig()
+	cfg.Chip.MemCapacity = 24
+	p := New(cfg)
+	defer p.Close()
+	_, is3 := loadPlummer(t, p, 512, 11)
+	if !p.paged {
+		t.Fatal("array did not switch to paged mode")
+	}
+	check("paged", p, is3, []int{1, 8, 48, 96})
+}
+
+// TestLoadJSwapSteadyStateAllocs pins the j-swap path the multi-tenant
+// scheduler drives on every tenant switch: reloading j-sets of the same
+// footprint must allocate nothing once the staging has grown.
+func TestLoadJSwapSteadyStateAllocs(t *testing.T) {
+	a := New(smallConfig())
+	defer a.Close()
+	jsA, _ := loadPlummer(t, a, 300, 1)
+	jsB := make([]chip.JParticle, 300)
+	copy(jsB, jsA)
+	for i := range jsB {
+		jsB[i].ID = i // same footprint, different image
+	}
+	// Warm both directions so slabs and index tables reach steady state.
+	for i := 0; i < 3; i++ {
+		if err := a.LoadJ(jsB); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.LoadJ(jsA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := a.LoadJ(jsB); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.LoadJ(jsA); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state j-swap allocates %.1f objects per swap pair, want 0", allocs)
+	}
+}

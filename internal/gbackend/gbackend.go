@@ -25,11 +25,45 @@ const headroom = 6
 // non-finite force (e.g. an unsoftened collision) rather than a bad guess.
 const maxRetries = 12
 
-// Backend drives a board.Array as the force engine of a Hermite
-// integration.
+// Array is the hardware contract the backend drives: the subset of
+// *board.Array the GRAPE library layer actually uses. A dedicated
+// attachment satisfies it directly; a multi-tenant lease from the
+// grape6d scheduler satisfies it by routing force evaluations through
+// the shared fleet. The backend cannot tell the difference — by the
+// scheduler's bit-exactness contract, a leased array returns the same
+// result bits (and the same per-request cycle counts) as a dedicated one.
+type Array interface {
+	// LoadJ installs a j-set (see board.Array.LoadJ).
+	LoadJ(ps []chip.JParticle) error
+	// UpdateJ rewrites the memory image of a loaded particle.
+	UpdateJ(p chip.JParticle) error
+	// ForcesInto evaluates forces on is at time t into dst and returns
+	// the hardware cycles consumed.
+	ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64
+	// BeginPredict starts the j-memory predictor for time t in the
+	// background (may be a no-op).
+	BeginPredict(t float64)
+	// NJ returns the number of loaded j-particles.
+	NJ() int
+	// Config returns the attachment's hardware configuration.
+	Config() board.Config
+	// Close releases the attachment's resources.
+	Close()
+}
+
+// Backend drives an Array — a dedicated board.Array or a scheduler
+// lease — as the force engine of a Hermite integration.
 type Backend struct {
-	arr *board.Array
+	arr Array
 	f   gfixed.Format
+
+	// owned records whether Close tears the array down. New hands the
+	// backend a dedicated attachment it owns outright; NewBorrowed
+	// attaches to shared hardware (a scheduler lease, or an array another
+	// component owns) that Close must leave running — a borrowed fleet
+	// has other tenants.
+	owned  bool
+	closed bool
 
 	// Host-side mirror of the hardware memory image, used to predict
 	// i-particles through the chip's exact datapath (so self-pairs cancel
@@ -64,14 +98,26 @@ type Backend struct {
 	partials []chip.Partial
 }
 
-// New returns a Backend over the given hardware attachment.
+// New returns a Backend that owns the given hardware attachment: Close
+// shuts the array's worker pool down with the backend.
 func New(arr *board.Array) *Backend {
-	return &Backend{arr: arr, f: arr.Config().Chip.Format, byID: make(map[int]int)}
+	return &Backend{arr: arr, owned: true, f: arr.Config().Chip.Format, byID: make(map[int]int)}
+}
+
+// NewBorrowed returns a Backend over hardware it does not own — a
+// grape6d scheduler lease, or a dedicated array whose lifecycle someone
+// else manages. Close detaches without closing the array, so other
+// tenants of a shared fleet are unaffected.
+func NewBorrowed(arr Array) *Backend {
+	return &Backend{arr: arr, owned: false, f: arr.Config().Chip.Format, byID: make(map[int]int)}
 }
 
 // Array exposes the underlying hardware (for inspection in tests and the
 // timing layer).
-func (b *Backend) Array() *board.Array { return b.arr }
+func (b *Backend) Array() Array { return b.arr }
+
+// Owned reports whether Close tears down the underlying array.
+func (b *Backend) Owned() bool { return b.owned }
 
 // NJ implements hermite.Backend.
 func (b *Backend) NJ() int { return b.arr.NJ() }
@@ -218,6 +264,16 @@ func (b *Backend) guessExponents(sys *nbody.System, i int) (ea, ej, ep int) {
 // array joins it; results are bit-identical to a synchronous predict.
 func (b *Backend) BeginPredict(t float64) { b.arr.BeginPredict(t) }
 
+// Yield implements hermite.YieldBackend by forwarding to the array when
+// it is a multi-tenant lease (anything exposing a Yield method); a
+// dedicated attachment has no other tenants to yield to, so the hint is
+// dropped.
+func (b *Backend) Yield() {
+	if y, ok := b.arr.(interface{ Yield() }); ok {
+		y.Yield()
+	}
+}
+
 // Forces implements hermite.Backend. Allocating wrapper over ForcesInto.
 func (b *Backend) Forces(t float64, ids []int, xi, vi []vec.V3, eps float64) []direct.Force {
 	return b.ForcesInto(make([]direct.Force, len(ids)), t, ids, xi, vi, eps)
@@ -313,8 +369,18 @@ func (b *Backend) ForcesInto(dst []direct.Force, t float64, ids []int, xi, vi []
 	return out
 }
 
-// Close releases the hardware attachment's worker pool.
-func (b *Backend) Close() { b.arr.Close() }
+// Close releases the hardware attachment. An owned array is closed
+// exactly once (repeat Closes are no-ops); a borrowed array is never
+// closed — on a shared fleet that would tear down other tenants' silicon.
+func (b *Backend) Close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	if b.owned {
+		b.arr.Close()
+	}
+}
 
 // growSlice returns s with length ≥ n, reallocating only on growth.
 func growSlice[T any](s []T, n int) []T {

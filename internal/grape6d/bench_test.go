@@ -1,0 +1,128 @@
+package grape6d
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"grape6/internal/chip"
+)
+
+// BenchmarkSchedulerDispatch measures the steady-state cost of pushing
+// one small force request through the scheduler — submit, pick, serve,
+// complete — on a resident session with no swap. The CI allocation
+// guard pins it at 0 allocs/op: the coalescing fast path must stay
+// allocation-free once the free lists and slabs have grown.
+func BenchmarkSchedulerDispatch(b *testing.B) {
+	hw := smallHW()
+	js, is := plummerSet(b, hw, 512, 42)
+	d := NewScheduler(Config{HW: hw})
+	defer d.Close()
+	s, err := d.Attach("bench", Quota{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer s.Detach()
+	if err := s.LoadJ(js); err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]chip.Partial, 4)
+	for k := 0; k < 16; k++ { // grow free lists and slabs to steady state
+		s.ForcesInto(dst, 0.015625, is[:4], 1.0/64)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForcesInto(dst, 0.015625, is[:4], 1.0/64)
+	}
+}
+
+// BenchmarkTenancySweep is the multi-tenant throughput sweep: 1, 2, 4
+// and 8 sessions sharing a two-array fleet, each session repeatedly
+// assembling a small-block step as six 8-particle requests submitted
+// together (so the coalescing window can pack them into one pipeline
+// load). Reported per configuration: aggregate particle-steps/s across
+// all sessions, the mean batch-fill ratio, and the fleet's idle
+// fraction — the three numbers the multi-tenant scheduler exists to
+// move.
+func BenchmarkTenancySweep(b *testing.B) {
+	hw := smallHW()
+	js, is := plummerSet(b, hw, 512, 42)
+	const reqSize = 8
+	const reqsPerBlock = 6
+	for _, nsess := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sessions=%d", nsess), func(b *testing.B) {
+			d := NewScheduler(Config{Fleet: 2, HW: hw, MaxWait: time.Millisecond})
+			defer d.Close()
+			sessions := make([]*Session, nsess)
+			for k := range sessions {
+				s, err := d.Attach(fmt.Sprintf("t%d", k), Quota{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer s.Detach()
+				if err := s.LoadJ(js); err != nil {
+					b.Fatal(err)
+				}
+				sessions[k] = s
+			}
+			blockStep := func(s *Session, dst []chip.Partial, tks []Ticket) {
+				for r := 0; r < reqsPerBlock; r++ {
+					lo := r * reqSize
+					tks[r] = s.Submit(dst[lo:lo+reqSize], 0.015625, is[lo:lo+reqSize], 1.0/64)
+				}
+				for r := range tks {
+					tks[r].Wait()
+				}
+			}
+			run := func(blocks int) {
+				var wg sync.WaitGroup
+				for _, s := range sessions {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						dst := make([]chip.Partial, reqSize*reqsPerBlock)
+						tks := make([]Ticket, reqsPerBlock)
+						for k := 0; k < blocks; k++ {
+							blockStep(s, dst, tks)
+						}
+					}()
+				}
+				wg.Wait()
+			}
+			run(2) // warm slots, free lists, slabs
+			before := d.Stats()
+			busyBefore := fleetBusy(before)
+			b.ResetTimer()
+			start := time.Now()
+			run(b.N)
+			elapsed := time.Since(start)
+			b.StopTimer()
+			after := d.Stats()
+
+			psteps := float64(nsess*b.N*reqSize*reqsPerBlock) / elapsed.Seconds()
+			b.ReportMetric(psteps, "psteps/s")
+			if dd := after.Fill.Dispatches - before.Fill.Dispatches; dd > 0 {
+				sumAfter := after.Fill.MeanFill * float64(after.Fill.Dispatches)
+				sumBefore := before.Fill.MeanFill * float64(before.Fill.Dispatches)
+				b.ReportMetric((sumAfter-sumBefore)/float64(dd), "fill")
+			}
+			busy := fleetBusy(after) - busyBefore
+			wall := time.Duration(d.Fleet()) * elapsed
+			idle := 1 - float64(busy)/float64(wall)
+			if idle < 0 {
+				idle = 0
+			}
+			b.ReportMetric(idle, "idle")
+		})
+	}
+}
+
+func fleetBusy(st Stats) time.Duration {
+	var busy time.Duration
+	for _, as := range st.Arrays {
+		busy += as.Busy
+	}
+	return busy
+}

@@ -1,0 +1,168 @@
+package grape6d
+
+import (
+	"bytes"
+	"net"
+	"testing"
+	"time"
+
+	"grape6/internal/board"
+	"grape6/internal/core"
+	"grape6/internal/model"
+	"grape6/internal/xrand"
+)
+
+// startDaemon brings up a server on a loopback listener and returns a
+// connected client. Cleanup closes both.
+func startDaemon(t *testing.T, hw board.Config, fleet int, maxWait time.Duration) *Client {
+	t.Helper()
+	sv := NewServer(NewScheduler(Config{
+		Fleet: fleet, HW: hw, MaxWait: maxWait,
+	}))
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sv.Serve(ln)
+	cl, err := Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cl.Close()
+		ln.Close()
+		sv.Close()
+	})
+	return cl
+}
+
+// TestDaemonRoundTrip drives the full session lifecycle over the wire —
+// attach, step, snapshot, restore, step, detach — with a second tenant
+// contending for the same array throughout, and pins both trajectories
+// bit-identical to dedicated runs (core.NewSimulator / core.Restore on
+// a private array of the same shape).
+func TestDaemonRoundTrip(t *testing.T) {
+	hw := smallHW()
+	const eps = 1.0 / 64
+	cl := startDaemon(t, hw, 1, 200*time.Microsecond)
+
+	if _, err := cl.Attach(AttachArgs{Name: "a", N: 96, Seed: 5}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Attach(AttachArgs{Name: "b", N: 64, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Attach(AttachArgs{Name: "a", N: 8, Seed: 1}); err == nil {
+		t.Fatalf("duplicate attach succeeded")
+	}
+
+	const blocks = 12
+	for k := 0; k < blocks/2; k++ {
+		if _, err := cl.Step("a", 2); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cl.Step("b", 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := cl.Snapshot("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cl.Restore("a2", snap.Data, Quota{}); err != nil {
+		t.Fatal(err)
+	}
+	const extra = 6
+	if _, err := cl.Step("a2", extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Detach("b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Detach("b"); err == nil {
+		t.Fatalf("double detach succeeded")
+	}
+	if _, err := cl.Step("a", 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dedicated-run references.
+	solo, err := core.NewSimulator(model.Plummer(96, xrand.New(5)), core.Config{
+		Backend: core.Grape, Eps: eps, HW: &hw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < blocks+1; k++ {
+		solo.Step()
+	}
+	wantA := SystemHash(solo.Synchronized())
+	gotA, err := cl.Hash("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA.Hash != wantA {
+		t.Errorf("session a hash %#016x, dedicated run %#016x", gotA.Hash, wantA)
+	}
+
+	soloRestored, err := core.Restore(bytes.NewReader(snap.Data), core.Config{
+		Backend: core.Grape, HW: &hw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < extra; k++ {
+		soloRestored.Step()
+	}
+	wantA2 := SystemHash(soloRestored.Synchronized())
+	gotA2, err := cl.Hash("a2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotA2.Hash != wantA2 {
+		t.Errorf("restored session hash %#016x, dedicated restore %#016x", gotA2.Hash, wantA2)
+	}
+
+	st, err := cl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Sessions) != 2 {
+		t.Errorf("stats report %d sessions after detach, want 2", len(st.Sessions))
+	}
+	if st.Arrays[0].Swaps < 2 {
+		t.Errorf("swaps = %d on the contended array, want ≥ 2", st.Arrays[0].Swaps)
+	}
+}
+
+// TestDaemonRejectsBadInput pins the failure paths reachable over the
+// wire: unknown session names, zero-N attaches and corrupt snapshot
+// streams must come back as errors, not crash the daemon.
+func TestDaemonRejectsBadInput(t *testing.T) {
+	cl := startDaemon(t, smallHW(), 1, 0)
+
+	if _, err := cl.Step("ghost", 1); err == nil {
+		t.Errorf("Step on unknown session succeeded")
+	}
+	if _, err := cl.Snapshot("ghost"); err == nil {
+		t.Errorf("Snapshot on unknown session succeeded")
+	}
+	if _, err := cl.Hash("ghost"); err == nil {
+		t.Errorf("Hash on unknown session succeeded")
+	}
+	if _, err := cl.Attach(AttachArgs{Name: "z", N: 0}); err == nil {
+		t.Errorf("Attach with N=0 succeeded")
+	}
+	if _, err := cl.Restore("r", []byte("not a snapshot"), Quota{}); err == nil {
+		t.Errorf("Restore of garbage stream succeeded")
+	}
+
+	// The daemon must still be serving after all of that.
+	if _, err := cl.Attach(AttachArgs{Name: "ok", N: 32, Seed: 3}); err != nil {
+		t.Fatalf("daemon wedged after bad input: %v", err)
+	}
+	if _, err := cl.Step("ok", 1); err != nil {
+		t.Fatal(err)
+	}
+}

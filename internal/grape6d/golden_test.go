@@ -1,0 +1,225 @@
+package grape6d
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"testing"
+
+	"grape6/internal/board"
+	"grape6/internal/chip"
+	"grape6/internal/model"
+	"grape6/internal/vec"
+	"grape6/internal/xrand"
+)
+
+// The golden hashes from board/golden_test.go, duplicated deliberately:
+// a scheduler lease must reproduce the dedicated array's bits exactly,
+// so the scheduler suite pins against the same constants rather than
+// sharing them (a change to either copy is a loud diff).
+const (
+	seedKernelHash = 0x0f9ec51439e83dd1
+	multiStepHash  = 0x12ad9bc6633aaa87
+)
+
+// smallHW is the 8-chip functional-test fleet array, matching
+// board_test.go's smallConfig.
+func smallHW() board.Config {
+	c := board.Default
+	c.ChipsPerModule = 2
+	c.ModulesPerBoard = 2
+	c.Boards = 2
+	return c
+}
+
+// plummerSet builds the standard seeded workload in hardware format
+// without touching an array: the j-image to hand a session's LoadJ and
+// the time-0 i-particles, identical to board_test.go's loadPlummer.
+func plummerSet(t testing.TB, hw board.Config, n int, seed uint64) ([]chip.JParticle, []chip.IParticle) {
+	t.Helper()
+	f := hw.Chip.Format
+	sys := model.Plummer(n, xrand.New(seed))
+	js := make([]chip.JParticle, n)
+	is := make([]chip.IParticle, n)
+	for i := 0; i < n; i++ {
+		p, err := chip.MakeJParticle(f, i, 0, sys.Mass[i], sys.Pos[i], sys.Vel[i], vec.Zero, vec.Zero, vec.Zero)
+		if err != nil {
+			t.Fatal(err)
+		}
+		js[i] = p
+		x, v := chip.PredictParticle(f, &p, 0)
+		is[i] = chip.IParticle{X: x, V: v, SelfID: i, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
+	}
+	return js, is
+}
+
+// partialHasher streams merged partials into the golden FNV-1a hash:
+// all seven accumulator sums plus the nearest-neighbour id, in order.
+type partialHasher struct {
+	h   interface{ Sum64() uint64 }
+	w   func(v int64)
+	buf [8]byte
+}
+
+func newPartialHasher() *partialHasher {
+	h := fnv.New64a()
+	ph := &partialHasher{h: h}
+	ph.w = func(v int64) {
+		binary.LittleEndian.PutUint64(ph.buf[:], uint64(v))
+		h.Write(ph.buf[:])
+	}
+	return ph
+}
+
+func (ph *partialHasher) add(ps []chip.Partial) {
+	for q := range ps {
+		p := &ps[q]
+		for c := 0; c < 3; c++ {
+			ph.w(p.Acc[c].Sum)
+			ph.w(p.Jerk[c].Sum)
+		}
+		ph.w(p.Pot.Sum)
+		ph.w(int64(p.NN))
+	}
+}
+
+// TestLeaseGoldenSeedKernel runs the seed-kernel golden workload through
+// a scheduler lease with another tenant resident first, so the golden
+// evaluation rides a j-image swap-in — and must still reproduce the
+// dedicated array's bits and cycle count exactly.
+func TestLeaseGoldenSeedKernel(t *testing.T) {
+	hw := smallHW()
+	d := NewScheduler(Config{HW: hw})
+	defer d.Close()
+
+	noise, err := d.Attach("noise", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noise.Detach()
+	golden, err := d.Attach("golden", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer golden.Detach()
+
+	njs, nis := plummerSet(t, hw, 64, 5)
+	if err := noise.LoadJ(njs); err != nil {
+		t.Fatal(err)
+	}
+	gjs, gis := plummerSet(t, hw, 512, 42)
+	if err := golden.LoadJ(gjs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Make the noise tenant resident so the golden dispatch must swap.
+	nd := make([]chip.Partial, 8)
+	noise.ForcesInto(nd, 0.25, nis[:8], 0.5)
+
+	dst := make([]chip.Partial, 96)
+	cycles := golden.ForcesInto(dst, 0.015625, gis[:96], 1.0/64)
+
+	ph := newPartialHasher()
+	ph.add(dst)
+	if got := ph.h.Sum64(); got != seedKernelHash {
+		t.Errorf("leased seed-kernel hash %#016x, want %#016x: the scheduler path changed result bits", got, seedKernelHash)
+	}
+
+	// Solo-identical cycle accounting: the lease must charge exactly what
+	// a dedicated attachment reports for the same request.
+	arr := board.New(hw)
+	defer arr.Close()
+	if err := arr.LoadJ(gjs); err != nil {
+		t.Fatal(err)
+	}
+	ref := make([]chip.Partial, 96)
+	want := arr.ForcesInto(ref, 0.015625, gis[:96], 1.0/64)
+	if cycles != want {
+		t.Errorf("leased request charged %d cycles, dedicated array reports %d", cycles, want)
+	}
+
+	st := d.Stats()
+	for _, as := range st.Arrays {
+		if as.Swaps < 2 {
+			t.Errorf("slot %d saw %d swaps, want ≥ 2 (noise in, golden in)", as.Slot, as.Swaps)
+		}
+	}
+}
+
+// TestLeaseGoldenMultiStep replicates the 24-block individual-timestep
+// golden workload through a lease, with a second tenant evaluating
+// between every block on the same single-array fleet — every golden
+// block therefore rides a swap-out/swap-in and its corrector writes take
+// the deferred dirty-image path. The hash must still match the serial
+// pre-optimization capture bit for bit.
+func TestLeaseGoldenMultiStep(t *testing.T) {
+	hw := smallHW()
+	d := NewScheduler(Config{Fleet: 1, HW: hw})
+	defer d.Close()
+
+	noise, err := d.Attach("noise", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer noise.Detach()
+	golden, err := d.Attach("golden", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer golden.Detach()
+
+	njs, nis := plummerSet(t, hw, 64, 5)
+	if err := noise.LoadJ(njs); err != nil {
+		t.Fatal(err)
+	}
+	js, _ := plummerSet(t, hw, 2048, 77)
+	if err := golden.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	f := hw.Chip.Format
+
+	ph := newPartialHasher()
+	const nb = 4
+	dst := make([]chip.Partial, nb)
+	is := make([]chip.IParticle, nb)
+	nd := make([]chip.Partial, 8)
+	eps := 1.0 / 64
+	for step := 0; step < 24; step++ {
+		tm := float64(step+1) * math.Ldexp(1, -9)
+		lo := (step * nb) % len(js)
+		for q := 0; q < nb; q++ {
+			j := &js[lo+q]
+			x, v := chip.PredictParticle(f, j, tm)
+			is[q] = chip.IParticle{X: x, V: v, SelfID: j.ID, ExpAcc: 4, ExpJerk: 6, ExpPot: 6}
+		}
+		golden.ForcesInto(dst, tm, is, eps)
+		ph.add(dst)
+		// Corrector stand-in, as in the board golden suite: rewrite the
+		// block's memory images with T0 = tm and perturbed acceleration.
+		for q := 0; q < nb; q++ {
+			j := js[lo+q]
+			j.T0 = tm
+			x, v := chip.PredictParticle(f, &js[lo+q], tm)
+			j.X = x
+			j.V = v
+			for c := 0; c < 3; c++ {
+				j.A[c] = f.Round(j.A[c] + math.Ldexp(float64(step+1), -20))
+			}
+			js[lo+q] = j
+			if err := golden.UpdateJ(j); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Evict the golden tenant: the other session computes a block on
+		// the same array, forcing a full j-image reload next golden block.
+		noise.ForcesInto(nd, 0.25, nis[:8], 0.5)
+	}
+	if got := ph.h.Sum64(); got != multiStepHash {
+		t.Errorf("leased multi-step hash %#016x, want %#016x: swap-in or deferred-update path changed result bits", got, multiStepHash)
+	}
+
+	st := d.Stats()
+	if st.Arrays[0].Swaps < 24 {
+		t.Errorf("fleet saw %d swaps across the interleaved run, want ≥ 24", st.Arrays[0].Swaps)
+	}
+}

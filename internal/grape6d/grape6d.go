@@ -1,0 +1,261 @@
+// Package grape6d is the multi-tenant GRAPE service scheduler: many
+// concurrent simulation sessions multiplexed over one shared fleet of
+// emulated board.Array attachments, the way the real GRAPE-6 facility
+// queued many users' host programs onto one machine (the system paper,
+// astro-ph/0310702, describes exactly this time-sharing — the sustained
+// Tflops of the SC'03 paper depend on the silicon never idling while any
+// one host is in its O(N) corrector phase).
+//
+// Three mechanisms keep the pipelines full:
+//
+//   - Intra-session batch coalescing: a session's small force requests
+//     (block timesteps routinely emit 4-16-particle blocks against the
+//     48 i-particle pipeline load) are queued, optionally held for a
+//     configurable MaxWait window, and packed into full pipeline batches
+//     before one hardware dispatch. Each i-particle's result depends only
+//     on (i-particle, j-set, t, eps) — per-i accumulators are
+//     independent — so packing requests with equal (t, eps) into one
+//     evaluation is bit-identical to dispatching them separately.
+//
+//   - Cross-session phase overlap: while one session is in its host
+//     phase (corrector, block scheduling), another session's force
+//     evaluation occupies the fleet. Sessions keep a host-side j-image;
+//     an array slot swaps a tenant in by reloading that image (the
+//     board's LoadJ restages without allocating, and j-sets larger than
+//     the chips page through the PR 7 LoadJRange streaming path). The
+//     swap changes which silicon computes, never what is computed:
+//     chip.WriteJ slot patching is pinned bit-identical to a cold
+//     re-predict, so a session that bounced between slots produces the
+//     same trajectory as one that owned an array outright.
+//
+//   - Admission control and per-session chip-time quotas: dispatch
+//     charges each session the model chip-seconds of its evaluations
+//     (board.Array.TimeFor over the cycle model), debited from a token
+//     bucket, so a greedy tenant is throttled instead of starving the
+//     rest. Cycle accounting is solo-identical: a coalesced sub-request
+//     is charged board.Array.BatchCyclesFor of its own i-count — exactly
+//     what a dedicated attachment would have reported.
+//
+// The non-negotiable invariant: every session's trajectory is
+// bit-identical to the same run executed alone on a dedicated array.
+// Coalescing and overlap share silicon occupancy, never arithmetic; the
+// golden-hash suite pins this through the scheduler path.
+//
+// A Session implements gbackend.Array, so the host-side GRAPE library
+// (gbackend.NewBorrowed) and the Hermite integrator run unchanged on a
+// shared fleet — gbackend is a client of the scheduler instead of the
+// owner of the boards.
+package grape6d
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"grape6/internal/board"
+	"grape6/internal/chip"
+)
+
+// Config parameterises a Scheduler.
+type Config struct {
+	// Fleet is the number of board.Array attachments in the shared
+	// fleet (default 1). Each is one independently schedulable unit of
+	// silicon: a disjoint chip partition in the real machine's terms.
+	Fleet int
+
+	// HW is the per-array hardware configuration (zero value:
+	// board.Default, the production 4-board attachment).
+	HW board.Config
+
+	// MaxWait is the coalescing window: an under-filled pipeline batch
+	// (fewer queued i-particles than one 48-slot pipeline load) is held
+	// up to this long for more of the session's requests to arrive.
+	// Zero dispatches immediately — the right default for synchronous
+	// clients, which never have a second request in flight.
+	MaxWait time.Duration
+
+	// Now is the clock used for quota accounting and the coalescing
+	// window (nil: time.Now). Tests inject a manual clock to make
+	// throttling deterministic; after moving a manual clock, call Kick.
+	Now func() time.Time
+}
+
+// Scheduler multiplexes sessions over the fleet. One dispatcher
+// goroutine per array slot picks a runnable session (resident tenant
+// first — affinity avoids swaps — then round-robin over the rest),
+// swaps its j-image in if needed, and drains its request queue in
+// coalesced pipeline batches until the queue empties, the tenant runs
+// out of quota, or other tenants are waiting for silicon.
+type Scheduler struct {
+	hw      board.Config
+	ibatch  int // i-particles per pipeline load (chip.Config.IBatch: 48)
+	maxWait time.Duration
+	now     func() time.Time
+
+	mu       sync.Mutex
+	cond     *sync.Cond // dispatchers park here; submits and releases broadcast
+	slots    []*slot
+	sessions []*Session
+	rr       int // round-robin pick cursor
+	closed   bool
+	start    time.Time
+
+	wake   *time.Timer // earliest pending quota-refill / window wake
+	wakeAt time.Time
+
+	crews sync.WaitGroup
+
+	fill fillHist
+}
+
+// slot is one array of the fleet plus its dispatcher's reusable state.
+type slot struct {
+	idx      int
+	arr      *board.Array
+	resident *Session // tenant whose j-image the array holds (nil: none)
+	busy     bool     // a goroutine is operating the array right now
+	streak   int      // consecutive affinity serves of the resident
+
+	swaps     int64
+	busyNanos int64
+	loads     int64 // pipeline loads dispatched through this slot
+
+	// dispatcher-owned scratch, reused across batches (grow-only).
+	batchReqs []*forceReq
+	batchIs   []chip.IParticle
+	batchDst  []chip.Partial
+}
+
+// NewScheduler builds the fleet and starts one dispatcher per slot.
+func NewScheduler(cfg Config) *Scheduler {
+	if cfg.Fleet <= 0 {
+		cfg.Fleet = 1
+	}
+	hw := cfg.HW
+	if hw == (board.Config{}) {
+		hw = board.Default
+	}
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	d := &Scheduler{
+		hw:      hw,
+		maxWait: cfg.MaxWait,
+		now:     now,
+		start:   now(),
+	}
+	d.cond = sync.NewCond(&d.mu)
+	d.wake = time.AfterFunc(time.Hour, d.kickLocked)
+	d.wake.Stop()
+	for i := 0; i < cfg.Fleet; i++ {
+		sl := &slot{idx: i, arr: board.New(hw)}
+		d.slots = append(d.slots, sl)
+	}
+	d.ibatch = d.slots[0].arr.Config().Chip.IBatch()
+	d.crews.Add(len(d.slots))
+	for _, sl := range d.slots {
+		go d.crew(sl)
+	}
+	return d
+}
+
+// kickLocked is the wake timer's callback: re-examine schedulability.
+func (d *Scheduler) kickLocked() {
+	d.mu.Lock()
+	d.wakeAt = time.Time{}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Kick forces the dispatchers to re-examine schedulability. Tests with a
+// manual Config.Now clock call it after advancing the clock (the real
+// wake timer runs on wall time and cannot see a manual clock move).
+func (d *Scheduler) Kick() {
+	d.mu.Lock()
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// wakeAtLocked arms the shared wake timer for time t, with now the
+// caller's clock reading (callers hold mu; the noalloc dispatch path
+// cannot read the injectable clock field itself).
+//
+//grape:noalloc
+func (d *Scheduler) wakeAtLocked(now, t time.Time) {
+	if !d.wakeAt.IsZero() && !t.Before(d.wakeAt) {
+		return
+	}
+	d.wakeAt = t
+	delay := t.Sub(now)
+	if delay < 0 {
+		delay = 0
+	}
+	d.wake.Reset(delay)
+}
+
+// HW returns the fleet's resolved per-array hardware configuration.
+func (d *Scheduler) HW() board.Config { return d.slots[0].arr.Config() }
+
+// TimeFor converts model cycles to seconds of hardware time on one
+// fleet array.
+func (d *Scheduler) TimeFor(cycles int64) float64 { return d.slots[0].arr.TimeFor(cycles) }
+
+// Attach admits a new session under the given quota (zero Quota:
+// unlimited). It fails once the scheduler is closed.
+func (d *Scheduler) Attach(name string, q Quota) (*Session, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil, fmt.Errorf("grape6d: scheduler closed")
+	}
+	s := &Session{
+		sched: d,
+		name:  name,
+		quota: q,
+	}
+	s.bucket.init(q, d.now())
+	// Session ids are dense and never reused within one scheduler.
+	s.id = d.nextIDLocked()
+	d.sessions = append(d.sessions, s)
+	return s, nil
+}
+
+func (d *Scheduler) nextIDLocked() int {
+	id := 0
+	for _, s := range d.sessions {
+		if s.id >= id {
+			id = s.id + 1
+		}
+	}
+	return id
+}
+
+// Close drains outstanding requests, stops the dispatchers and closes
+// the fleet. Sessions should be detached first; requests submitted
+// after Close panics are rejected.
+func (d *Scheduler) Close() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	d.closed = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	d.crews.Wait()
+	d.wake.Stop()
+	for _, sl := range d.slots {
+		sl.arr.Close()
+	}
+}
+
+// Fleet returns the number of array slots.
+func (d *Scheduler) Fleet() int { return len(d.slots) }
+
+// gomaxprocs reports whether more than one OS thread can run — with one,
+// cross-session overlap degenerates to interleaving (documented in
+// DESIGN.md; the real machine's host CPUs are separate silicon from the
+// pipelines, the emulation's are not).
+func gomaxprocs() int { return runtime.GOMAXPROCS(0) }

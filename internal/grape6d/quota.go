@@ -1,0 +1,94 @@
+package grape6d
+
+import "time"
+
+// Quota is a per-session chip-time budget: a token bucket holding
+// seconds of model chip time (board.Array.TimeFor over the cycle
+// model). Dispatch requires a positive balance and debits the actual
+// occupancy of each evaluation, so one evaluation may overdraw the
+// bucket — the session then waits until the refill rate covers the
+// deficit. The zero Quota is unlimited.
+//
+// Quotas gate only WHEN a session's work reaches the silicon, never
+// what it computes: a throttled session's trajectory is bit-identical,
+// just later.
+type Quota struct {
+	// ChipSecondsPerSecond is the sustained refill rate: seconds of
+	// chip time granted per wall second. 1.0 means "one full array,
+	// continuously"; 0 means unlimited.
+	ChipSecondsPerSecond float64
+
+	// Burst is the bucket capacity in chip-seconds (how far ahead of
+	// the sustained rate a session may run). Zero defaults to one
+	// second's worth of refill, with a small floor so a single
+	// evaluation can always start.
+	Burst float64
+}
+
+// Unlimited reports whether the quota never throttles.
+func (q Quota) Unlimited() bool { return q.ChipSecondsPerSecond <= 0 }
+
+// bucket is the live token-bucket state of one session.
+type bucket struct {
+	q      Quota
+	tokens float64
+	last   time.Time
+}
+
+func (b *bucket) init(q Quota, now time.Time) {
+	if q.Burst <= 0 {
+		q.Burst = q.ChipSecondsPerSecond
+		if q.Burst < 1e-6 {
+			q.Burst = 1e-6
+		}
+	}
+	b.q = q
+	b.tokens = q.Burst
+	b.last = now
+}
+
+// refill accrues tokens up to the burst capacity.
+func (b *bucket) refill(now time.Time) {
+	if b.q.Unlimited() {
+		return
+	}
+	dt := now.Sub(b.last).Seconds()
+	if dt <= 0 {
+		return
+	}
+	b.last = now
+	b.tokens += dt * b.q.ChipSecondsPerSecond
+	if b.tokens > b.q.Burst {
+		b.tokens = b.q.Burst
+	}
+}
+
+// allow reports whether a dispatch may start now.
+func (b *bucket) allow(now time.Time) bool {
+	if b.q.Unlimited() {
+		return true
+	}
+	b.refill(now)
+	return b.tokens > 0
+}
+
+// charge debits chip-seconds (possibly overdrawing).
+func (b *bucket) charge(chipSeconds float64) {
+	if b.q.Unlimited() {
+		return
+	}
+	b.tokens -= chipSeconds
+}
+
+// nextOK returns the earliest time a dispatch may start again.
+func (b *bucket) nextOK(now time.Time) time.Time {
+	if b.q.Unlimited() {
+		return now
+	}
+	b.refill(now)
+	if b.tokens > 0 {
+		return now
+	}
+	wait := -b.tokens / b.q.ChipSecondsPerSecond
+	return now.Add(time.Duration(wait * float64(time.Second)))
+}

@@ -1,0 +1,522 @@
+package grape6d
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"grape6/internal/board"
+	"grape6/internal/chip"
+	"grape6/internal/gbackend"
+	"grape6/internal/hermite"
+	"grape6/internal/model"
+	"grape6/internal/nbody"
+	"grape6/internal/xrand"
+)
+
+// TestCoalescingBitIdentical submits several small same-(t, eps)
+// requests inside one coalescing window and checks that the single
+// packed dispatch returns, request by request, exactly the bits and
+// cycle counts of separate evaluations on a dedicated array.
+func TestCoalescingBitIdentical(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 512, 42)
+	eps := 1.0 / 64
+	tm := 0.015625
+
+	// Under-filled splits: 5+7+11+13 = 36 i-particles < one 48-slot
+	// pipeline load, so nothing dispatches before the window closes and
+	// all four requests coalesce into one evaluation.
+	splits := []struct{ lo, n int }{{0, 5}, {5, 7}, {12, 11}, {23, 13}}
+
+	arr := board.New(hw)
+	defer arr.Close()
+	if err := arr.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	type ref struct {
+		dst    []chip.Partial
+		cycles int64
+	}
+	refs := make([]ref, len(splits))
+	for k, sp := range splits {
+		refs[k].dst = make([]chip.Partial, sp.n)
+		refs[k].cycles = arr.ForcesInto(refs[k].dst, tm, is[sp.lo:sp.lo+sp.n], eps)
+	}
+
+	d := NewScheduler(Config{HW: hw, MaxWait: 40 * time.Millisecond})
+	defer d.Close()
+	s, err := d.Attach("burst", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Detach()
+	if err := s.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+
+	dsts := make([][]chip.Partial, len(splits))
+	tks := make([]Ticket, len(splits))
+	for k, sp := range splits {
+		dsts[k] = make([]chip.Partial, sp.n)
+		tks[k] = s.Submit(dsts[k], tm, is[sp.lo:sp.lo+sp.n], eps)
+	}
+	for k := range tks {
+		cycles := tks[k].Wait()
+		if cycles != refs[k].cycles {
+			t.Errorf("request %d charged %d cycles, dedicated array reports %d", k, cycles, refs[k].cycles)
+		}
+		for q := range dsts[k] {
+			if dsts[k][q] != refs[k].dst[q] {
+				t.Fatalf("request %d partial %d differs from dedicated evaluation", k, q)
+			}
+		}
+	}
+
+	st := d.Stats()
+	ss := st.Sessions[0]
+	if ss.Requests != int64(len(splits)) {
+		t.Errorf("session shows %d requests, want %d", ss.Requests, len(splits))
+	}
+	if ss.Batches != 1 {
+		t.Errorf("4 held requests dispatched in %d batches, want 1 coalesced dispatch", ss.Batches)
+	}
+	if st.Fill.Dispatches != 1 {
+		t.Fatalf("fill histogram recorded %d dispatches, want 1", st.Fill.Dispatches)
+	}
+	if want := 36.0 / 48.0; st.Fill.MeanFill != want {
+		t.Errorf("mean batch fill %.4f, want %.4f (36 i-particles on one pipeline load)", st.Fill.MeanFill, want)
+	}
+}
+
+// TestCoalescingFullBatchFlushesEarly pins the other edge of the window:
+// once queued work reaches a full pipeline load it dispatches without
+// waiting out MaxWait.
+func TestCoalescingFullBatchFlushesEarly(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 512, 42)
+	d := NewScheduler(Config{HW: hw, MaxWait: time.Hour})
+	defer d.Close()
+	s, err := d.Attach("full", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Detach()
+	if err := s.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]chip.Partial, d.HW().Chip.IBatch())
+	done := make(chan int64)
+	go func() { done <- s.ForcesInto(dst, 0.015625, is[:d.HW().Chip.IBatch()], 1.0/64) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("a full pipeline load sat out a one-hour coalescing window instead of flushing immediately")
+	}
+}
+
+// TestCoalescingMaxWaitFlush pins the window itself: an under-filled
+// batch must dispatch once MaxWait expires even though no more work
+// arrives — and not meaningfully earlier.
+func TestCoalescingMaxWaitFlush(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 512, 42)
+	const wait = 30 * time.Millisecond
+	d := NewScheduler(Config{HW: hw, MaxWait: wait})
+	defer d.Close()
+	s, err := d.Attach("lone", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Detach()
+	if err := s.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]chip.Partial, 4)
+	start := time.Now()
+	s.ForcesInto(dst, 0.015625, is[:4], 1.0/64)
+	if elapsed := time.Since(start); elapsed < wait/2 {
+		t.Errorf("under-filled request completed after %v, want the %v coalescing window to hold it", elapsed, wait)
+	}
+	if st := d.Stats(); st.Fill.Dispatches != 1 || st.Fill.Buckets[0] != 1 {
+		t.Errorf("fill histogram %+v, want one dispatch in the lowest bucket (4/48 fill)", st.Fill)
+	}
+}
+
+// manualClock is a lockable test clock for deterministic quota tests.
+type manualClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func (c *manualClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *manualClock) Advance(d *Scheduler, by time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(by)
+	c.mu.Unlock()
+	d.Kick()
+}
+
+// TestQuotaThrottle pins admission control with a manual clock: a
+// session that has overdrawn its chip-second bucket stops dispatching
+// until the refill covers the debt, while an unlimited session keeps
+// being served with bounded latency the whole time.
+func TestQuotaThrottle(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 256, 3)
+	clock := &manualClock{now: time.Unix(1000, 0)}
+	d := NewScheduler(Config{HW: hw, Now: clock.Now})
+	defer d.Close()
+
+	// A near-empty bucket with a slow refill: the first dispatch is
+	// admitted (positive balance) and overdraws; everything after waits
+	// on the refill rate.
+	greedy, err := d.Attach("greedy", Quota{ChipSecondsPerSecond: 1e-3, Burst: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer greedy.Detach()
+	polite, err := d.Attach("polite", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer polite.Detach()
+	if err := greedy.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := polite.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+
+	dst := make([]chip.Partial, 16)
+	if cycles := greedy.ForcesInto(dst, 0.015625, is[:16], 1.0/64); cycles <= 0 {
+		t.Fatal("first dispatch inside the burst did not run")
+	}
+
+	// The bucket is now overdrawn; with the clock frozen this request
+	// must not dispatch.
+	blocked := make([]chip.Partial, 16)
+	tk := greedy.Submit(blocked, 0.03125, is[:16], 1.0/64)
+	throttledDone := make(chan int64, 1)
+	go func() { throttledDone <- tk.Wait() }()
+
+	// The unlimited tenant keeps flowing with bounded latency while the
+	// greedy one is parked.
+	pd := make([]chip.Partial, 16)
+	for k := 0; k < 5; k++ {
+		pdone := make(chan struct{})
+		go func() {
+			polite.ForcesInto(pd, 0.0625, is[:16], 1.0/64)
+			close(pdone)
+		}()
+		select {
+		case <-pdone:
+		case <-time.After(10 * time.Second):
+			t.Fatal("unlimited session starved behind a throttled tenant")
+		}
+	}
+	select {
+	case <-throttledDone:
+		t.Fatal("overdrawn session dispatched with the clock frozen")
+	case <-time.After(20 * time.Millisecond):
+	}
+	st := d.Stats()
+	var g SessionStats
+	for _, ss := range st.Sessions {
+		if ss.Name == "greedy" {
+			g = ss
+		}
+	}
+	if g.Throttled < 1 {
+		t.Errorf("greedy session shows %d throttle episodes, want ≥ 1", g.Throttled)
+	}
+	if g.QueueDepth != 1 {
+		t.Errorf("greedy queue depth %d, want the blocked request still queued", g.QueueDepth)
+	}
+
+	// Refill far past the debt: the parked request must now dispatch.
+	clock.Advance(d, time.Hour)
+	select {
+	case cycles := <-throttledDone:
+		if cycles <= 0 {
+			t.Error("throttled request completed with no cycles charged")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("refilled session never dispatched after the clock advanced")
+	}
+}
+
+// runHermite integrates a seeded Plummer system to the given time on
+// the provided backend and returns the final system plus hardware
+// cycles consumed.
+func runHermite(t testing.TB, be *gbackend.Backend, n int, seed uint64, until float64) (*nbody.System, int64) {
+	t.Helper()
+	sys := model.Plummer(n, xrand.New(seed))
+	it, err := hermite.New(sys, be, hermite.DefaultParams(1.0/64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.Run(until)
+	return sys, be.HWCycles
+}
+
+func sameSystem(a, b *nbody.System) bool {
+	if a.N != b.N {
+		return false
+	}
+	for i := 0; i < a.N; i++ {
+		if a.Pos[i] != b.Pos[i] || a.Vel[i] != b.Vel[i] || a.Acc[i] != b.Acc[i] ||
+			a.Jerk[i] != b.Jerk[i] || a.Snap[i] != b.Snap[i] || a.Crack[i] != b.Crack[i] ||
+			a.Pot[i] != b.Pot[i] || a.Time[i] != b.Time[i] || a.Step[i] != b.Step[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSessionEndToEndVsSolo is the tentpole invariant end to end: two
+// Hermite integrations sharing a single-array fleet concurrently — with
+// all the swaps, coalescing windows and deferred updates that implies —
+// must each produce bit-identical trajectories AND identical hardware
+// cycle accounting to the same runs executed alone on dedicated arrays.
+func TestSessionEndToEndVsSolo(t *testing.T) {
+	hw := smallHW()
+	const until = 1.0 / 16
+
+	soloA := gbackend.New(board.New(hw))
+	sysA, cycA := runHermite(t, soloA, 192, 13, until)
+	soloA.Close()
+	soloB := gbackend.New(board.New(hw))
+	sysB, cycB := runHermite(t, soloB, 96, 21, until)
+	soloB.Close()
+
+	d := NewScheduler(Config{Fleet: 1, HW: hw})
+	defer d.Close()
+	type result struct {
+		sys    *nbody.System
+		cycles int64
+	}
+	var wg sync.WaitGroup
+	results := make([]result, 2)
+	runs := []struct {
+		name string
+		n    int
+		seed uint64
+	}{{"tenantA", 192, 13}, {"tenantB", 96, 21}}
+	for k, r := range runs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s, err := d.Attach(r.name, Quota{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			be := gbackend.NewBorrowed(s)
+			defer be.Close()
+			sys, cyc := runHermite(t, be, r.n, r.seed, until)
+			results[k] = result{sys, cyc}
+		}()
+	}
+	wg.Wait()
+
+	if !sameSystem(sysA, results[0].sys) {
+		t.Error("tenant A trajectory differs from its dedicated-array run: multi-tenancy changed result bits")
+	}
+	if !sameSystem(sysB, results[1].sys) {
+		t.Error("tenant B trajectory differs from its dedicated-array run: multi-tenancy changed result bits")
+	}
+	if results[0].cycles != cycA {
+		t.Errorf("tenant A charged %d cycles, dedicated run consumed %d", results[0].cycles, cycA)
+	}
+	if results[1].cycles != cycB {
+		t.Errorf("tenant B charged %d cycles, dedicated run consumed %d", results[1].cycles, cycB)
+	}
+}
+
+// TestOverlapThroughput checks that two tenants on a two-array fleet
+// actually overlap: aggregate wall time for the pair must beat running
+// the same work serialized through one session. Meaningless on a single
+// CPU, where the emulated silicon and the host share one core.
+func TestOverlapThroughput(t *testing.T) {
+	if runtime.NumCPU() < 2 {
+		t.Skip("overlap needs ≥ 2 CPUs: emulated boards burn host CPU, so one core serializes everything")
+	}
+	old := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(old)
+
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 512, 42)
+	const evals = 24
+	work := func(s *Session, dst []chip.Partial, rounds int) {
+		for k := 0; k < rounds; k++ {
+			s.ForcesInto(dst, 0.015625, is[:48], 1.0/64)
+		}
+	}
+
+	d := NewScheduler(Config{Fleet: 2, HW: hw})
+	defer d.Close()
+	one, err := d.Attach("serial", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer one.Detach()
+	if err := one.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]chip.Partial, 48)
+	work(one, dst, 2) // warm the slot
+	start := time.Now()
+	work(one, dst, 2*evals)
+	serial := time.Since(start)
+
+	a, err := d.Attach("parA", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Detach()
+	b, err := d.Attach("parB", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Detach()
+	if err := a.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	da := make([]chip.Partial, 48)
+	db := make([]chip.Partial, 48)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); work(a, da, 1) }()
+	go func() { defer wg.Done(); work(b, db, 1) }()
+	wg.Wait() // warm both slots
+	start = time.Now()
+	wg.Add(2)
+	go func() { defer wg.Done(); work(a, da, evals) }()
+	go func() { defer wg.Done(); work(b, db, evals) }()
+	wg.Wait()
+	overlapped := time.Since(start)
+
+	speedup := float64(serial) / float64(overlapped)
+	t.Logf("serialized %v, overlapped %v: %.2fx", serial, overlapped, speedup)
+	if speedup < 1.2 {
+		t.Errorf("two tenants on two arrays ran %.2fx the serialized rate, want ≥ 1.2x overlap", speedup)
+	}
+}
+
+// TestDetachLeavesFleetRunning pins session lifecycle: detaching one
+// tenant must not disturb another's ability to keep dispatching.
+func TestDetachLeavesFleetRunning(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 128, 9)
+	d := NewScheduler(Config{HW: hw})
+	defer d.Close()
+	a, err := d.Attach("early", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Attach("late", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Detach()
+	if err := a.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]chip.Partial, 8)
+	a.ForcesInto(dst, 0.25, is[:8], 0.5)
+	a.Detach()
+	a.Detach() // idempotent
+	if err := a.LoadJ(js); err == nil {
+		t.Error("LoadJ on a detached session succeeded")
+	}
+	var ref [8]chip.Partial
+	b.ForcesInto(ref[:], 0.25, is[:8], 0.5)
+	if st := d.Stats(); len(st.Sessions) != 1 || st.Sessions[0].Name != "late" {
+		t.Errorf("sessions after detach: %+v, want only the surviving tenant", st.Sessions)
+	}
+}
+
+// TestWriteThroughDispatchExclusion hammers the interleaving where one
+// tenant's UpdateJ write-through (client goroutine operating the slot's
+// array unlocked, sl.busy set) overlaps another tenant's force
+// submissions on a Fleet=1 scheduler: the crew must treat the busy slot
+// as non-dispatchable instead of stomping it with a concurrent
+// LoadJ/ForcesInto. Regression for a race the detector caught in the
+// end-to-end test; run under tier 2 this pins the exclusion.
+func TestWriteThroughDispatchExclusion(t *testing.T) {
+	hw := smallHW()
+	d := NewScheduler(Config{Fleet: 1, HW: hw})
+	defer d.Close()
+
+	writer, err := d.Attach("writer", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rival, err := d.Attach("rival", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	wjs, wis := plummerSet(t, hw, 32, 3)
+	rjs, ris := plummerSet(t, hw, 24, 4)
+	if err := writer.LoadJ(wjs); err != nil {
+		t.Fatal(err)
+	}
+	if err := rival.LoadJ(rjs); err != nil {
+		t.Fatal(err)
+	}
+
+	var wdst, rdst [8]chip.Partial
+	// Make writer resident with a first evaluation, then interleave:
+	// writer alternates write-throughs with evaluations (each evaluation
+	// re-establishes residency) while rival's evaluations evict it.
+	writer.ForcesInto(wdst[:], 0, wis[:8], 1.0/64)
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for k := 0; k < 200; k++ {
+			rival.ForcesInto(rdst[:], 0, ris[:8], 1.0/64)
+		}
+	}()
+	for k := 0; k < 200; k++ {
+		p := wjs[k%len(wjs)]
+		if err := writer.UpdateJ(p); err != nil {
+			t.Fatal(err)
+		}
+		if k%8 == 0 {
+			writer.BeginPredict(0)
+			writer.ForcesInto(wdst[:], 0, wis[:8], 1.0/64)
+		}
+	}
+	<-done
+
+	// The rewrites were identity patches, so writer's forces must still
+	// match a dedicated array evaluating the untouched j-set.
+	arr := board.New(hw)
+	defer arr.Close()
+	if err := arr.LoadJ(wjs); err != nil {
+		t.Fatal(err)
+	}
+	var want [8]chip.Partial
+	arr.ForcesInto(want[:], 0, wis[:8], 1.0/64)
+	writer.ForcesInto(wdst[:], 0, wis[:8], 1.0/64)
+	for i := range want {
+		if want[i] != wdst[i] {
+			t.Fatalf("particle %d diverged under write-through/dispatch contention", i)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package grape6d
+
+import (
+	"fmt"
+	"time"
+
+	"grape6/internal/board"
+	"grape6/internal/chip"
+)
+
+// Session is one tenant of the scheduler. It implements gbackend.Array,
+// so a host program built on gbackend (and the Hermite integrator above
+// it) runs unchanged over the shared fleet: gbackend.NewBorrowed(sess)
+// is a drop-in for gbackend.New(board.New(cfg)), bit for bit.
+//
+// A session keeps the canonical host-side copy of its j-set in hardware
+// format (the j-image). The fleet holds at most Fleet tenants' images in
+// silicon at once; a dispatch for a non-resident tenant first swaps its
+// image in via the array's allocation-free LoadJ (paging through the
+// streaming path when the set exceeds chip memory). Swapping changes
+// which silicon computes, never what is computed.
+type Session struct {
+	sched *Scheduler
+	name  string
+	id    int
+	quota Quota
+
+	// All mutable state below is guarded by sched.mu.
+	bucket   bucket
+	detached bool
+	serving  bool // a dispatcher is operating the fleet for this session
+	yield    bool // host phase announced; residency affinity suspended
+
+	// Canonical j-image and its id → slot index.
+	jimg  []chip.JParticle
+	byID  map[int]int
+	dirty bool // image changed since last swap-in; resident copy is stale
+
+	// Pending force requests (FIFO), their total i-count, and the
+	// coalescing-window deadline armed when the queue went non-empty.
+	queue    []*forceReq
+	queuedNi int
+	deadline time.Time
+
+	// Free-listed request objects: steady-state submits allocate nothing.
+	free []*forceReq
+
+	// Deferred predictor start (served at the next swap-in/dispatch).
+	predictT   float64
+	hasPredict bool
+
+	// Statistics (see SessionStats).
+	reqs       int64
+	batches    int64
+	cycles     int64
+	throttled  int64 // distinct quota-throttle episodes
+	inThrottle bool  // currently in one (edge detector for the counter)
+}
+
+// forceReq is one queued force evaluation. The dispatcher fills dst and
+// sends the charged cycle count on done (capacity 1, reused across the
+// free list, so completion never blocks the dispatch loop).
+type forceReq struct {
+	dst  []chip.Partial
+	is   []chip.IParticle
+	t    float64
+	eps  float64
+	done chan int64
+}
+
+// Ticket is a handle on a submitted request. It is a value, not an
+// allocation; Wait blocks until the dispatcher has filled the request's
+// destination slab and returns the hardware cycles charged.
+type Ticket struct {
+	s *Session
+	r *forceReq
+}
+
+// Wait blocks until the request completes and returns the model cycles
+// charged — exactly what a dedicated array would have reported for this
+// request alone (solo-identical accounting via BatchCyclesFor).
+func (tk Ticket) Wait() int64 {
+	cycles := <-tk.r.done
+	s := tk.s
+	d := s.sched
+	d.mu.Lock()
+	tk.r.dst, tk.r.is = nil, nil
+	s.free = append(s.free, tk.r)
+	d.mu.Unlock()
+	return cycles
+}
+
+// Name returns the session's attach name.
+func (s *Session) Name() string { return s.name }
+
+// ID returns the session's dense scheduler-unique id.
+func (s *Session) ID() int { return s.id }
+
+// LoadJ implements gbackend.Array: it installs ps as the session's
+// j-image. The silicon copy is refreshed lazily at the next dispatch.
+func (s *Session) LoadJ(ps []chip.JParticle) error {
+	d := s.sched
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if s.detached {
+		return fmt.Errorf("grape6d: session %q detached", s.name)
+	}
+	if cap(s.jimg) < len(ps) {
+		s.jimg = make([]chip.JParticle, len(ps))
+	}
+	s.jimg = s.jimg[:len(ps)]
+	copy(s.jimg, ps)
+	if s.byID == nil {
+		s.byID = make(map[int]int, len(ps))
+	} else {
+		clear(s.byID)
+	}
+	for i, p := range ps {
+		if _, dup := s.byID[p.ID]; dup {
+			return fmt.Errorf("grape6d: duplicate particle id %d", p.ID)
+		}
+		s.byID[p.ID] = i
+	}
+	s.dirty = true
+	return nil
+}
+
+// UpdateJ implements gbackend.Array: it rewrites one particle of the
+// j-image. If the session is resident on an idle slot the write goes
+// through to silicon immediately (chip.WriteJ slot patching is pinned
+// bit-identical to a cold reload); otherwise the image is marked dirty
+// and the next dispatch reloads it wholesale — same bits either way.
+func (s *Session) UpdateJ(p chip.JParticle) error {
+	d := s.sched
+	d.mu.Lock()
+	k, ok := s.byID[p.ID]
+	if !ok {
+		d.mu.Unlock()
+		return fmt.Errorf("grape6d: particle %d not loaded", p.ID)
+	}
+	s.jimg[k] = p
+	if s.dirty {
+		d.mu.Unlock()
+		return nil
+	}
+	if sl := s.residentIdleSlotLocked(); sl != nil {
+		sl.busy = true
+		d.mu.Unlock()
+		err := sl.arr.UpdateJ(p)
+		d.mu.Lock()
+		sl.busy = false
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		return err
+	}
+	s.dirty = true
+	d.mu.Unlock()
+	return nil
+}
+
+// residentIdleSlotLocked returns a slot holding this session's image
+// that no dispatcher is currently operating, or nil.
+func (s *Session) residentIdleSlotLocked() *slot {
+	for _, sl := range s.sched.slots {
+		if sl.resident == s && !sl.busy {
+			return sl
+		}
+	}
+	return nil
+}
+
+// Submit enqueues a force evaluation and returns immediately. Requests
+// with equal (t, eps) that are queued together are coalesced into one
+// hardware dispatch — bit-identical to dispatching them separately,
+// because each i-particle's accumulators are independent. dst and is
+// must stay untouched until Wait returns.
+func (s *Session) Submit(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) Ticket {
+	d := s.sched
+	d.mu.Lock()
+	if s.detached || d.closed {
+		d.mu.Unlock()
+		panic(fmt.Sprintf("grape6d: submit on detached session %q", s.name))
+	}
+	r := s.getReqLocked()
+	r.dst, r.is, r.t, r.eps = dst, is, t, eps
+	if len(s.queue) == 0 && d.maxWait > 0 {
+		now := d.now()
+		s.deadline = now.Add(d.maxWait)
+		d.wakeAtLocked(now, s.deadline)
+	}
+	s.queue = append(s.queue, r)
+	s.queuedNi += len(is)
+	s.reqs++
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return Ticket{s: s, r: r}
+}
+
+func (s *Session) getReqLocked() *forceReq {
+	if n := len(s.free); n > 0 {
+		r := s.free[n-1]
+		s.free = s.free[:n-1]
+		return r
+	}
+	return &forceReq{done: make(chan int64, 1)}
+}
+
+// ForcesInto implements gbackend.Array: the synchronous force path,
+// Submit followed by Wait. Concurrent callers on different sessions are
+// coalesced across the fleet; concurrent callers on one session (e.g.
+// the retry rounds of several host threads) coalesce with each other.
+func (s *Session) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle, eps float64) int64 {
+	return s.Submit(dst, t, is, eps).Wait()
+}
+
+// BeginPredict implements gbackend.Array. If the session is resident on
+// an idle slot the hardware predictor starts immediately (the §6
+// host/GRAPE overlap); otherwise the start is deferred to the next
+// dispatch, where the fused predict+force path covers it. Either way the
+// result bits are identical — prediction timing never changes values.
+func (s *Session) BeginPredict(t float64) {
+	d := s.sched
+	d.mu.Lock()
+	if s.detached {
+		d.mu.Unlock()
+		return
+	}
+	if !s.dirty {
+		if sl := s.residentIdleSlotLocked(); sl != nil {
+			sl.busy = true
+			d.mu.Unlock()
+			sl.arr.BeginPredict(t)
+			d.mu.Lock()
+			sl.busy = false
+			s.hasPredict = false
+			d.cond.Broadcast()
+			d.mu.Unlock()
+			return
+		}
+	}
+	s.predictT, s.hasPredict = t, true
+	d.mu.Unlock()
+}
+
+// NJ implements gbackend.Array.
+func (s *Session) NJ() int {
+	s.sched.mu.Lock()
+	defer s.sched.mu.Unlock()
+	return len(s.jimg)
+}
+
+// Config implements gbackend.Array: the fleet's per-array hardware
+// configuration.
+func (s *Session) Config() board.Config { return s.sched.HW() }
+
+// Yield announces that the session is entering a host phase (corrector,
+// block scheduling): its residency affinity is suspended so another
+// tenant's evaluation can occupy the silicon meanwhile. Purely a
+// scheduling hint — it never changes any session's results.
+func (s *Session) Yield() {
+	d := s.sched
+	d.mu.Lock()
+	s.yield = true
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Detach removes the session from the scheduler after its queue drains.
+// The fleet keeps running for other tenants. Detach is idempotent.
+func (s *Session) Detach() {
+	d := s.sched
+	d.mu.Lock()
+	for len(s.queue) > 0 || s.serving {
+		d.cond.Wait()
+	}
+	if s.detached {
+		d.mu.Unlock()
+		return
+	}
+	s.detached = true
+	for i, t := range d.sessions {
+		if t == s {
+			d.sessions = append(d.sessions[:i], d.sessions[i+1:]...)
+			break
+		}
+	}
+	for _, sl := range d.slots {
+		if sl.resident == s {
+			sl.resident = nil
+		}
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+}
+
+// Close implements gbackend.Array as an alias for Detach, so a borrowed
+// gbackend.Backend over a session lease tears down cleanly.
+func (s *Session) Close() { s.Detach() }

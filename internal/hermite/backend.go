@@ -58,6 +58,19 @@ type PredictAheadBackend interface {
 	BeginPredict(t float64)
 }
 
+// YieldBackend is the optional multi-tenant extension of Backend: Yield
+// announces that the integrator is entering a host phase (correction,
+// rebinning, block selection) and will not need the force engine until
+// the next block's evaluation. Backends over shared hardware (a grape6d
+// scheduler lease) use it to release their residency affinity so
+// another tenant's evaluation can occupy the silicon meanwhile; it is a
+// scheduling hint only and never changes any result. The integrator
+// calls it at the end of every block step.
+type YieldBackend interface {
+	Backend
+	Yield()
+}
+
 // jstate is the per-particle state a backend needs to run the predictor
 // pipeline, eqs. (6)-(7).
 type jstate struct {

@@ -95,8 +95,10 @@ type Integrator struct {
 	vp    []vec.V3
 	fbuf  []direct.Force // force results, reused when the backend supports it
 
-	// pab is B when it supports predict-ahead, cached once at New.
+	// pab is B when it supports predict-ahead, cached once at New; yb
+	// likewise when it supports the multi-tenant yield hint.
 	pab PredictAheadBackend
+	yb  YieldBackend
 }
 
 // prefetchPredict starts the backend's j-memory prediction for the next
@@ -144,6 +146,7 @@ func New(sys *nbody.System, b Backend, p Params) (*Integrator, error) {
 
 	it := &Integrator{Sys: sys, B: b, P: p, T: t0}
 	it.pab, _ = b.(PredictAheadBackend)
+	it.yb, _ = b.(YieldBackend)
 	b.Load(sys)
 
 	// Full force evaluation at the common initial time.
@@ -231,6 +234,12 @@ func (it *Integrator) Step() BlockStat {
 
 	it.B.Update(sys, it.block)
 	it.prefetchPredict()
+	if it.yb != nil {
+		// The host phase until the next block — trace callbacks, block
+		// selection, i-particle prediction — needs no silicon: on a
+		// shared fleet, let another tenant's evaluation occupy it.
+		it.yb.Yield()
+	}
 
 	it.T = t
 	it.Steps += int64(nb)

@@ -1,0 +1,92 @@
+package snapshot
+
+import (
+	"bytes"
+	"encoding/binary"
+	"strings"
+	"testing"
+
+	"grape6/internal/model"
+	"grape6/internal/xrand"
+)
+
+// validStream serialises a small system and returns the bytes.
+func validStream(t *testing.T) []byte {
+	t.Helper()
+	sys := model.Plummer(8, xrand.New(7))
+	var buf bytes.Buffer
+	if err := Write(&buf, Header{N: 8, Time: 0.25, Eps: 1.0 / 64, Step: 99}, sys); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTruncationSweep reads every proper prefix of a valid stream. Each
+// must fail with a clean error — never a panic, never a silent success —
+// whether the cut lands in the magic, the version, the header, a
+// particle record or the checksum trailer.
+func TestTruncationSweep(t *testing.T) {
+	data := validStream(t)
+	for n := 0; n < len(data); n++ {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Read panicked on %d-byte prefix: %v", n, r)
+				}
+			}()
+			if _, _, err := Read(bytes.NewReader(data[:n])); err == nil {
+				t.Errorf("Read accepted truncated stream of %d/%d bytes", n, len(data))
+			}
+		}()
+	}
+	// Sanity: the untruncated stream still reads.
+	if _, _, err := Read(bytes.NewReader(data)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+}
+
+// TestCorruptedChecksum flips the final byte — inside the CRC-32
+// trailer, so the payload is intact but the recorded checksum is wrong.
+func TestCorruptedChecksum(t *testing.T) {
+	data := validStream(t)
+	data[len(data)-1] ^= 0x01
+	_, _, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("Read accepted stream with corrupted checksum trailer")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Errorf("corrupted trailer reported as %q, want a checksum error", err)
+	}
+}
+
+// TestWrongVersion patches the version field (offset 4, after the
+// 4-byte magic) to an unsupported value. Read must identify the version
+// as the problem rather than fail later with a confusing record or
+// checksum error.
+func TestWrongVersion(t *testing.T) {
+	data := validStream(t)
+	binary.LittleEndian.PutUint32(data[4:8], Version+41)
+	_, _, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("Read accepted unsupported version")
+	}
+	if !strings.Contains(err.Error(), "version") {
+		t.Errorf("wrong version reported as %q, want a version error", err)
+	}
+}
+
+// TestHugeHeaderN patches the header's particle count to an absurd
+// value. Read must fail on the (now short) record section instead of
+// attempting a multi-terabyte allocation.
+func TestHugeHeaderN(t *testing.T) {
+	data := validStream(t)
+	binary.LittleEndian.PutUint64(data[8:16], 1<<40)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("Read panicked on absurd header N: %v", r)
+		}
+	}()
+	if _, _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Error("Read accepted header claiming 2^40 particles in a 8-particle stream")
+	}
+}

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr8.json so future PRs can track the trajectory.
+# BENCH_pr9.json so future PRs can track the trajectory.
 #
 # Usage: scripts/bench.sh [out.json]
 #
@@ -24,10 +24,15 @@
 # pool's per-evaluation synchronization cost (the PR-8 fused
 # predict+force dispatch: one channel handoff per worker per evaluation
 # instead of two, with an in-pool parking barrier between the stages).
+# The PR-9 multi-tenant scheduler adds BenchmarkSchedulerDispatch (the
+# submit→coalesce→dispatch round trip, pinned allocation-free) and the
+# BenchmarkTenancySweep at 1/2/4/8 concurrent sessions, whose psteps/s,
+# batch-fill and fleet-idle metrics track how well cross-session
+# coalescing and phase overlap keep the shared pipelines full.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr8.json}"
+out="${1:-BENCH_pr9.json}"
 tmp="$(mktemp)"
 objs="$(mktemp)"
 trap 'rm -f "$tmp" "$objs"' EXIT
@@ -52,6 +57,7 @@ parse() {
 		ns = ""; allocs = ""; gflops = ""
 		vtime = ""; comm = ""; sync = ""; events = ""
 		block = ""; mpairs = ""
+		psteps = ""; fill = ""; idle = ""
 		for (i = 3; i < NF; i++) {
 			if ($(i+1) == "ns/op") ns = $i
 			if ($(i+1) == "allocs/op") allocs = $i
@@ -62,6 +68,9 @@ parse() {
 			if ($(i+1) == "events/s") events = $i
 			if ($(i+1) == "particles/block") block = $i
 			if ($(i+1) == "Mpairs/s") mpairs = $i
+			if ($(i+1) == "psteps/s") psteps = $i
+			if ($(i+1) == "fill") fill = $i
+			if ($(i+1) == "idle") idle = $i
 		}
 		if (ns == "") next
 		line = sprintf("{\"name\": \"%s\", \"ns_per_op\": %s", name, ns)
@@ -74,6 +83,9 @@ parse() {
 		if (comm != "") line = line sprintf(", \"comm_s\": %s", comm)
 		if (sync != "") line = line sprintf(", \"sync_s\": %s", sync)
 		if (events != "") line = line sprintf(", \"events_per_s\": %s", events)
+		if (psteps != "") line = line sprintf(", \"psteps_per_s\": %s", psteps)
+		if (fill != "") line = line sprintf(", \"fill\": %s", fill)
+		if (idle != "") line = line sprintf(", \"idle\": %s", idle)
 		print line "}"
 	}' >> "$objs"
 }
@@ -108,6 +120,20 @@ parse < "$tmp"
 go test ./internal/des -run '^$' \
 	-bench 'BenchmarkEngineEventsPerSec$|BenchmarkSleepProcCycle$' \
 	-benchmem -benchtime=2s | tee "$tmp"
+parse < "$tmp"
+
+# Multi-tenant scheduler: the allocation-free dispatch round trip and the
+# tenancy sweep (1/2/4/8 concurrent sessions sharing a two-array fleet;
+# psteps/s is the aggregate throughput, fill the mean batch occupancy,
+# idle the fraction of fleet time no tenant's evaluation occupied).
+go test ./internal/grape6d -run '^$' \
+	-bench 'BenchmarkSchedulerDispatch$' \
+	-benchmem -benchtime=1s | tee "$tmp"
+parse < "$tmp"
+
+go test ./internal/grape6d -run '^$' \
+	-bench 'BenchmarkTenancySweep' \
+	-benchtime=20x | tee "$tmp"
 parse < "$tmp"
 
 # GOMAXPROCS sweep: how the striped force kernel and the end-to-end
