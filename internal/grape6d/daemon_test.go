@@ -2,13 +2,16 @@ package grape6d
 
 import (
 	"bytes"
+	"fmt"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"grape6/internal/board"
 	"grape6/internal/core"
 	"grape6/internal/model"
+	"grape6/internal/nbody"
 	"grape6/internal/xrand"
 )
 
@@ -133,6 +136,62 @@ func TestDaemonRoundTrip(t *testing.T) {
 	}
 	if st.Arrays[0].Swaps < 2 {
 		t.Errorf("swaps = %d on the contended array, want ≥ 2", st.Arrays[0].Swaps)
+	}
+}
+
+// TestServerConcurrentAttach pins the start path's locking: the name is
+// reserved under sv.mu but the integrator (with its O(N²) initial force
+// evaluation) is built outside it, so concurrent attaches of different
+// names proceed in parallel while two racing attaches of the same name
+// still yield exactly one session. A detached name is attachable again.
+func TestServerConcurrentAttach(t *testing.T) {
+	sv := NewServer(NewScheduler(Config{HW: smallHW()}))
+	defer sv.Close()
+
+	newSys := func(seed uint64) *nbody.System { return model.Plummer(48, xrand.New(seed)) }
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for k := range errs {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			name := "dup"
+			if k%2 == 1 {
+				name = fmt.Sprintf("solo%d", k)
+			}
+			_, errs[k] = sv.start(name, newSys(uint64(k+1)), 1.0/64, uint64(k+1), Quota{})
+		}()
+	}
+	wg.Wait()
+
+	dupOK := 0
+	for k, err := range errs {
+		if k%2 == 1 {
+			if err != nil {
+				t.Errorf("concurrent attach of distinct name %d failed: %v", k, err)
+			}
+			continue
+		}
+		if err == nil {
+			dupOK++
+		}
+	}
+	if dupOK != 1 {
+		t.Errorf("%d of 2 same-name attaches succeeded, want exactly 1", dupOK)
+	}
+	if _, err := sv.get("dup"); err != nil {
+		t.Fatalf("winning session not installed: %v", err)
+	}
+	if _, err := sv.start("dup", newSys(9), 1.0/64, 9, Quota{}); err == nil {
+		t.Fatal("duplicate attach succeeded after the race settled")
+	}
+
+	r := &RPC{sv: sv}
+	if err := r.Detach(&DetachArgs{Name: "dup"}, &DetachReply{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sv.start("dup", newSys(9), 1.0/64, 9, Quota{}); err != nil {
+		t.Fatalf("reattach after detach failed: %v", err)
 	}
 }
 

@@ -26,7 +26,10 @@ func (d *Scheduler) crew(sl *slot) {
 	//grapelint:ignore hotblock one-time acquisition at crew startup; the loop then holds the lock except through cond.Wait parks and serve's unlocked hardware section
 	d.mu.Lock()
 	for {
-		if d.closed {
+		if d.closed && !d.pendingLocked() {
+			// Close drains: crews keep serving until every session's queue
+			// is empty (readyLocked bypasses quotas and coalescing windows
+			// once closed), so no Ticket.Wait is left hanging.
 			d.mu.Unlock()
 			return
 		}
@@ -84,6 +87,20 @@ func (d *Scheduler) pick(sl *slot, now time.Time) *Session {
 	return nil
 }
 
+// pendingLocked reports whether any session still has queued requests
+// (in-flight batches are excluded: the crew serving one completes it
+// before re-checking). Callers hold d.mu.
+//
+//grape:noalloc
+func (d *Scheduler) pendingLocked() bool {
+	for _, s := range d.sessions {
+		if len(s.queue) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // mergeWake folds candidate re-examination time t into the running
 // earliest wake (zero times mean "no wake needed").
 //
@@ -103,6 +120,12 @@ func mergeWake(wake, t time.Time) time.Time {
 func (s *Session) readyLocked(now time.Time) (bool, time.Time) {
 	if len(s.queue) == 0 {
 		return false, time.Time{}
+	}
+	if s.sched.closed {
+		// Drain mode: Close dispatches everything still queued right away,
+		// bypassing quota throttling and coalescing windows (both gate only
+		// when work runs, never what it computes).
+		return true, time.Time{}
 	}
 	if !s.bucket.allow(now) {
 		if !s.inThrottle {
@@ -143,13 +166,18 @@ func (d *Scheduler) serve(sl *slot, s *Session) {
 	reqs := sl.batchReqs
 	loads := (ni + d.ibatch - 1) / d.ibatch
 
-	swap := sl.resident != s || s.dirty
+	// The slot's copy is current only if it holds this session's image at
+	// its current generation — a session resident on several slots can
+	// have fresh and stale copies at once, and LoadJ/UpdateJ bump the
+	// generation rather than chase every copy.
+	gen := s.gen
+	swap := sl.resident != s || sl.gen != gen
 	predict, pt := s.hasPredict, s.predictT
 	s.hasPredict = false
 	s.serving = true
 	sl.busy = true
 	sl.resident = s
-	s.dirty = false
+	sl.gen = gen
 	d.mu.Unlock()
 
 	if swap {

@@ -98,6 +98,7 @@ type Scheduler struct {
 	slots    []*slot
 	sessions []*Session
 	rr       int // round-robin pick cursor
+	nextID   int // next session id; monotonic, never reused
 	closed   bool
 	start    time.Time
 
@@ -114,6 +115,7 @@ type slot struct {
 	idx      int
 	arr      *board.Array
 	resident *Session // tenant whose j-image the array holds (nil: none)
+	gen      uint64   // generation of the resident image this slot holds
 	busy     bool     // a goroutine is operating the array right now
 	streak   int      // consecutive affinity serves of the resident
 
@@ -214,27 +216,23 @@ func (d *Scheduler) Attach(name string, q Quota) (*Session, error) {
 		sched: d,
 		name:  name,
 		quota: q,
+		gen:   1, // slot.gen zero-value 0 never matches a fresh session
 	}
 	s.bucket.init(q, d.now())
-	// Session ids are dense and never reused within one scheduler.
-	s.id = d.nextIDLocked()
+	// Session ids come off a monotonic counter, so an id is never reused
+	// within one scheduler — a stale client holding a detached session's
+	// id can never conflate it with a later tenant.
+	s.id = d.nextID
+	d.nextID++
 	d.sessions = append(d.sessions, s)
 	return s, nil
 }
 
-func (d *Scheduler) nextIDLocked() int {
-	id := 0
-	for _, s := range d.sessions {
-		if s.id >= id {
-			id = s.id + 1
-		}
-	}
-	return id
-}
-
-// Close drains outstanding requests, stops the dispatchers and closes
-// the fleet. Sessions should be detached first; requests submitted
-// after Close panics are rejected.
+// Close drains outstanding requests — everything queued at the time of
+// the call is dispatched, bypassing quota throttles and coalescing
+// windows, so every Ticket.Wait returns — then stops the dispatchers
+// and closes the fleet. Detach remains callable afterwards; requests
+// submitted after Close are rejected with a panic.
 func (d *Scheduler) Close() {
 	d.mu.Lock()
 	if d.closed {

@@ -413,6 +413,215 @@ func TestOverlapThroughput(t *testing.T) {
 	}
 }
 
+// TestMultiSlotResidencyStaysFresh pins the generation tracking behind
+// multi-slot residency: concurrent dispatches can leave one session's
+// j-image resident on several slots at once, and a later LoadJ or
+// UpdateJ write-through must stale-out every copy it did not refresh —
+// a single per-session dirty flag cannot say which slot went stale, so
+// the second slot would silently evaluate against the old image.
+func TestMultiSlotResidencyStaysFresh(t *testing.T) {
+	hw := smallHW()
+	js1, is := plummerSet(t, hw, 128, 1)
+	js2, _ := plummerSet(t, hw, 128, 2)
+	eps := 1.0 / 64
+	const tm = 0.015625
+
+	d := NewScheduler(Config{Fleet: 2, HW: hw})
+	defer d.Close()
+	s, err := d.Attach("roamer", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Detach()
+
+	// evalOn pins the next dispatch to slot k by marking the other slot
+	// busy — exactly the state a client-side fast path puts it in — and
+	// releases the pin after the evaluation completes.
+	evalOn := func(k int) []chip.Partial {
+		d.mu.Lock()
+		for d.slots[0].busy || d.slots[1].busy || s.serving {
+			d.cond.Wait()
+		}
+		other := d.slots[1-k]
+		other.busy = true
+		d.mu.Unlock()
+		dst := make([]chip.Partial, 8)
+		s.ForcesInto(dst, tm, is[:8], eps)
+		d.mu.Lock()
+		other.busy = false
+		landed := d.slots[k].resident == s
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		if !landed {
+			t.Fatalf("pinned dispatch did not land on slot %d", k)
+		}
+		return dst
+	}
+
+	if err := s.LoadJ(js1); err != nil {
+		t.Fatal(err)
+	}
+	// Establish residency on both slots under the first image.
+	evalOn(0)
+	evalOn(1)
+
+	// Replace the whole image: every resident copy is now stale, and a
+	// dispatch on either slot must swap the new image in.
+	if err := s.LoadJ(js2); err != nil {
+		t.Fatal(err)
+	}
+	arr := board.New(hw)
+	defer arr.Close()
+	if err := arr.LoadJ(js2); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]chip.Partial, 8)
+	arr.ForcesInto(want, tm, is[:8], eps)
+	for k := 0; k < 2; k++ {
+		got := evalOn(k)
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("slot %d evaluated against a stale j-image after LoadJ (partial %d differs)", k, q)
+			}
+		}
+	}
+
+	// Write-through: the patch lands on one fresh idle slot and stamps it
+	// with the new generation; the other slot's copy is now one generation
+	// behind and must reload wholesale at its next dispatch.
+	if err := s.UpdateJ(js1[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := arr.UpdateJ(js1[0]); err != nil {
+		t.Fatal(err)
+	}
+	arr.ForcesInto(want, tm, is[:8], eps)
+	for k := 0; k < 2; k++ {
+		got := evalOn(k)
+		for q := range want {
+			if got[q] != want[q] {
+				t.Fatalf("slot %d evaluated against a stale j-image after an UpdateJ write-through elsewhere (partial %d differs)", k, q)
+			}
+		}
+	}
+}
+
+// TestCloseDrainsQueuedRequests pins Close's drain contract: requests
+// parked behind a still-open coalescing window or an overdrawn quota
+// bucket at the time of Close must still complete with correct bits
+// (the drain bypasses both gates — they only decide when work runs,
+// never what it computes), and Detach after Close must return instead
+// of waiting forever on a queue no dispatcher will ever serve.
+func TestCloseDrainsQueuedRequests(t *testing.T) {
+	hw := smallHW()
+	js, is := plummerSet(t, hw, 128, 7)
+	eps := 1.0 / 64
+	const tm = 0.015625
+	clock := &manualClock{now: time.Unix(1000, 0)}
+	d := NewScheduler(Config{HW: hw, MaxWait: time.Hour, Now: clock.Now})
+
+	held, err := d.Attach("held", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy, err := d.Attach("greedy", Quota{ChipSecondsPerSecond: 1e-3, Burst: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := held.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	if err := greedy.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+
+	// Overdraw greedy's bucket with a full pipeline load (a full batch
+	// dispatches without waiting out the one-hour window).
+	ib := d.HW().Chip.IBatch()
+	full := make([]chip.Partial, ib)
+	if cycles := greedy.ForcesInto(full, tm, is[:ib], eps); cycles <= 0 {
+		t.Fatal("burst dispatch inside the quota did not run")
+	}
+
+	// With the clock frozen, neither of these can dispatch: one sits in
+	// the coalescing window, one behind the overdrawn bucket.
+	heldDst := make([]chip.Partial, 4)
+	heldTk := held.Submit(heldDst, tm, is[:4], eps)
+	gDst := make([]chip.Partial, 4)
+	gTk := greedy.Submit(gDst, tm, is[:4], eps)
+
+	done := make(chan struct{})
+	go func() {
+		heldTk.Wait()
+		gTk.Wait()
+		close(done)
+	}()
+	d.Close()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close returned with queued requests still incomplete")
+	}
+
+	arr := board.New(hw)
+	defer arr.Close()
+	if err := arr.LoadJ(js); err != nil {
+		t.Fatal(err)
+	}
+	want := make([]chip.Partial, 4)
+	arr.ForcesInto(want, tm, is[:4], eps)
+	for q := range want {
+		if heldDst[q] != want[q] {
+			t.Errorf("window-held request drained with wrong bits (partial %d)", q)
+		}
+		if gDst[q] != want[q] {
+			t.Errorf("throttled request drained with wrong bits (partial %d)", q)
+		}
+	}
+
+	detached := make(chan struct{})
+	go func() {
+		held.Detach()
+		greedy.Detach()
+		close(detached)
+	}()
+	select {
+	case <-detached:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Detach after Close deadlocked")
+	}
+}
+
+// TestSessionIDsNeverReused pins id allocation: detaching the
+// highest-id session must not hand its id to the next Attach — a stale
+// client holding the old id would conflate two different sessions.
+func TestSessionIDsNeverReused(t *testing.T) {
+	d := NewScheduler(Config{HW: smallHW()})
+	defer d.Close()
+	a, err := d.Attach("a", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Detach()
+	b, err := d.Attach("b", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bid := b.ID()
+	b.Detach()
+	c, err := d.Attach("c", Quota{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Detach()
+	if c.ID() == bid {
+		t.Fatalf("session id %d reused after its holder detached", bid)
+	}
+	if c.ID() <= a.ID() {
+		t.Errorf("session ids not monotonic: a=%d, later c=%d", a.ID(), c.ID())
+	}
+}
+
 // TestDetachLeavesFleetRunning pins session lifecycle: detaching one
 // tenant must not disturb another's ability to keep dispatching.
 func TestDetachLeavesFleetRunning(t *testing.T) {

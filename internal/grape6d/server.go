@@ -55,6 +55,9 @@ func (sv *Server) Close() {
 	sv.mu.Lock()
 	sims := make([]*sim, 0, len(sv.sims))
 	for _, sm := range sv.sims {
+		if sm == nil {
+			continue // name reserved by an in-flight start; it rolls back
+		}
 		sims = append(sims, sm)
 	}
 	sv.sims = make(map[string]*sim)
@@ -84,32 +87,55 @@ func (sv *Server) get(name string) (*sim, error) {
 	sv.mu.Lock()
 	defer sv.mu.Unlock()
 	sm, ok := sv.sims[name]
-	if !ok {
+	if !ok || sm == nil { // nil: name reserved, session still being built
 		return nil, fmt.Errorf("grape6d: no session %q", name)
 	}
 	return sm, nil
 }
 
 // start builds a hosted integration from an initial system and
-// registers it under name.
+// registers it under name. Only the name reservation and the final
+// install hold sv.mu: building the integrator runs the full O(N²)
+// initial force evaluation, and holding the server lock across it
+// would stall every other tenant's RPCs for the duration.
 func (sv *Server) start(name string, sys *nbody.System, eps float64, seed uint64, q Quota) (*sim, error) {
 	sv.mu.Lock()
-	defer sv.mu.Unlock()
 	if _, dup := sv.sims[name]; dup {
+		sv.mu.Unlock()
 		return nil, fmt.Errorf("grape6d: session %q already attached", name)
 	}
+	sv.sims[name] = nil // reserve the name; built below, outside the lock
+	sv.mu.Unlock()
+	unreserve := func() {
+		sv.mu.Lock()
+		if sm, ok := sv.sims[name]; ok && sm == nil {
+			delete(sv.sims, name)
+		}
+		sv.mu.Unlock()
+	}
+
 	lease, err := sv.sched.Attach(name, q)
 	if err != nil {
+		unreserve()
 		return nil, err
 	}
 	be := gbackend.NewBorrowed(lease)
 	it, err := hermite.New(sys, be, hermite.DefaultParams(eps))
 	if err != nil {
 		lease.Detach()
+		unreserve()
 		return nil, err
 	}
 	sm := &sim{lease: lease, be: be, it: it, sys: sys, eps: eps, seed: seed}
+	sv.mu.Lock()
+	if _, still := sv.sims[name]; !still {
+		// Server.Close swept the map while we were building: roll back.
+		sv.mu.Unlock()
+		lease.Detach()
+		return nil, fmt.Errorf("grape6d: server closed")
+	}
 	sv.sims[name] = sm
+	sv.mu.Unlock()
 	return sm, nil
 }
 
@@ -266,7 +292,9 @@ func (r *RPC) Detach(args *DetachArgs, reply *DetachReply) error {
 	sv := r.sv
 	sv.mu.Lock()
 	sm, ok := sv.sims[args.Name]
-	if ok {
+	if sm == nil { // absent, or reserved by an in-flight start
+		ok = false
+	} else {
 		delete(sv.sims, args.Name)
 	}
 	sv.mu.Unlock()

@@ -31,10 +31,15 @@ type Session struct {
 	serving  bool // a dispatcher is operating the fleet for this session
 	yield    bool // host phase announced; residency affinity suspended
 
-	// Canonical j-image and its id → slot index.
-	jimg  []chip.JParticle
-	byID  map[int]int
-	dirty bool // image changed since last swap-in; resident copy is stale
+	// Canonical j-image and its id → slot index. gen counts image
+	// generations: it starts at 1 and advances on every change that is
+	// not written through to silicon. A slot's copy is current only when
+	// slot.gen matches — a session can be resident on several slots at
+	// once (concurrent dispatches land wherever silicon is free), and a
+	// single staleness flag cannot say *which* copies went stale.
+	jimg []chip.JParticle
+	byID map[int]int
+	gen  uint64
 
 	// Pending force requests (FIFO), their total i-count, and the
 	// coalescing-window deadline armed when the queue went non-empty.
@@ -97,11 +102,17 @@ func (s *Session) Name() string { return s.name }
 func (s *Session) ID() int { return s.id }
 
 // LoadJ implements gbackend.Array: it installs ps as the session's
-// j-image. The silicon copy is refreshed lazily at the next dispatch.
+// j-image. The silicon copies are refreshed lazily at the next dispatch
+// on each slot (the generation bump marks every resident copy stale).
 func (s *Session) LoadJ(ps []chip.JParticle) error {
 	d := s.sched
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// A dispatch in flight reads jimg unlocked during its swap-in; wait it
+	// out before mutating the image underneath it.
+	for s.serving {
+		d.cond.Wait()
+	}
 	if s.detached {
 		return fmt.Errorf("grape6d: session %q detached", s.name)
 	}
@@ -121,48 +132,63 @@ func (s *Session) LoadJ(ps []chip.JParticle) error {
 		}
 		s.byID[p.ID] = i
 	}
-	s.dirty = true
+	s.gen++
 	return nil
 }
 
 // UpdateJ implements gbackend.Array: it rewrites one particle of the
-// j-image. If the session is resident on an idle slot the write goes
-// through to silicon immediately (chip.WriteJ slot patching is pinned
-// bit-identical to a cold reload); otherwise the image is marked dirty
-// and the next dispatch reloads it wholesale — same bits either way.
+// j-image. If a slot holds the current generation of the image and is
+// idle, the write goes through to that silicon immediately (chip.WriteJ
+// slot patching is pinned bit-identical to a cold reload) and the slot
+// is stamped with the new generation; every other resident copy is now
+// one generation behind and the next dispatch there reloads the image
+// wholesale — same bits either way.
 func (s *Session) UpdateJ(p chip.JParticle) error {
 	d := s.sched
 	d.mu.Lock()
+	// A dispatch in flight reads jimg unlocked during its swap-in; wait it
+	// out before mutating the image underneath it.
+	for s.serving {
+		d.cond.Wait()
+	}
+	if s.detached {
+		d.mu.Unlock()
+		return fmt.Errorf("grape6d: session %q detached", s.name)
+	}
 	k, ok := s.byID[p.ID]
 	if !ok {
 		d.mu.Unlock()
 		return fmt.Errorf("grape6d: particle %d not loaded", p.ID)
 	}
 	s.jimg[k] = p
-	if s.dirty {
+	sl := s.freshIdleSlotLocked()
+	s.gen++
+	if sl == nil {
 		d.mu.Unlock()
 		return nil
 	}
-	if sl := s.residentIdleSlotLocked(); sl != nil {
-		sl.busy = true
-		d.mu.Unlock()
-		err := sl.arr.UpdateJ(p)
-		d.mu.Lock()
-		sl.busy = false
-		d.cond.Broadcast()
-		d.mu.Unlock()
-		return err
-	}
-	s.dirty = true
+	sl.gen = s.gen
+	sl.busy = true
 	d.mu.Unlock()
-	return nil
+	err := sl.arr.UpdateJ(p)
+	d.mu.Lock()
+	sl.busy = false
+	if err != nil {
+		// The silicon copy is in an unknown state; force a full reload.
+		sl.resident, sl.gen = nil, 0
+	}
+	d.cond.Broadcast()
+	d.mu.Unlock()
+	return err
 }
 
-// residentIdleSlotLocked returns a slot holding this session's image
-// that no dispatcher is currently operating, or nil.
-func (s *Session) residentIdleSlotLocked() *slot {
+// freshIdleSlotLocked returns a slot holding the current generation of
+// this session's j-image that no goroutine is currently operating, or
+// nil. Only such a slot may take a write-through or an immediate
+// predictor start — a stale resident copy reloads at dispatch instead.
+func (s *Session) freshIdleSlotLocked() *slot {
 	for _, sl := range s.sched.slots {
-		if sl.resident == s && !sl.busy {
+		if sl.resident == s && sl.gen == s.gen && !sl.busy {
 			return sl
 		}
 	}
@@ -213,11 +239,12 @@ func (s *Session) ForcesInto(dst []chip.Partial, t float64, is []chip.IParticle,
 	return s.Submit(dst, t, is, eps).Wait()
 }
 
-// BeginPredict implements gbackend.Array. If the session is resident on
-// an idle slot the hardware predictor starts immediately (the §6
-// host/GRAPE overlap); otherwise the start is deferred to the next
-// dispatch, where the fused predict+force path covers it. Either way the
-// result bits are identical — prediction timing never changes values.
+// BeginPredict implements gbackend.Array. If a slot holds the current
+// image generation and is idle, the hardware predictor starts there
+// immediately (the §6 host/GRAPE overlap); otherwise the start is
+// deferred to the next dispatch, where the fused predict+force path
+// covers it. Either way the result bits are identical — prediction
+// timing never changes values.
 func (s *Session) BeginPredict(t float64) {
 	d := s.sched
 	d.mu.Lock()
@@ -225,18 +252,16 @@ func (s *Session) BeginPredict(t float64) {
 		d.mu.Unlock()
 		return
 	}
-	if !s.dirty {
-		if sl := s.residentIdleSlotLocked(); sl != nil {
-			sl.busy = true
-			d.mu.Unlock()
-			sl.arr.BeginPredict(t)
-			d.mu.Lock()
-			sl.busy = false
-			s.hasPredict = false
-			d.cond.Broadcast()
-			d.mu.Unlock()
-			return
-		}
+	if sl := s.freshIdleSlotLocked(); sl != nil {
+		sl.busy = true
+		d.mu.Unlock()
+		sl.arr.BeginPredict(t)
+		d.mu.Lock()
+		sl.busy = false
+		s.hasPredict = false
+		d.cond.Broadcast()
+		d.mu.Unlock()
+		return
 	}
 	s.predictT, s.hasPredict = t, true
 	d.mu.Unlock()
@@ -286,7 +311,7 @@ func (s *Session) Detach() {
 	}
 	for _, sl := range d.slots {
 		if sl.resident == s {
-			sl.resident = nil
+			sl.resident, sl.gen = nil, 0
 		}
 	}
 	d.cond.Broadcast()
