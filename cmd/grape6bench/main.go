@@ -5,24 +5,90 @@
 //	grape6bench -exp all          # everything
 //	grape6bench -exp f19 -quick   # fast, low-fidelity pass
 //
+// Figure experiments with a declarative spec under scenarios/ run
+// through the scenario engine (internal/scenario), which also provides
+// the committed-baseline regression workflow:
+//
+//	grape6bench -exp f13 -json            # figure JSON to stdout
+//	grape6bench -exp scenarios -quick -diff    # diff the whole matrix
+//	grape6bench -exp g6a -quick -update   # re-pin one baseline
+//
 // Output is a text rendition of each figure: one labelled series per
-// curve, with the paper's reported result quoted alongside.
+// curve, with the paper's reported result quoted alongside. With -diff,
+// out-of-tolerance points, missing/extra series and non-finite values
+// are reported and the exit status is non-zero.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"grape6/internal/bench"
+	"grape6/internal/scenario"
 )
 
+// builtinRunners is the single source of truth for the hand-wired
+// experiment ids: the -exp flag help and the unknown-id error are both
+// generated from it, so the lists cannot drift from the code again.
+func builtinRunners() map[string]func(*bench.Options) (bench.Experiment, error) {
+	return map[string]func(*bench.Options) (bench.Experiment, error){
+		"t1":    func(*bench.Options) (bench.Experiment, error) { return bench.RunT1(), nil },
+		"f13":   bench.RunF13,
+		"f14":   bench.RunF14,
+		"f15":   bench.RunF15,
+		"f16":   bench.RunF16,
+		"f17":   bench.RunF17,
+		"f18":   bench.RunF18,
+		"f19":   bench.RunF19,
+		"t5ab":  bench.RunApplications,
+		"t5c":   bench.RunTreecode,
+		"cosim": bench.RunCosim,
+		"a1":    bench.RunAblationMantissa,
+		"a2":    bench.RunAblationAccumulator,
+		"a3":    bench.RunAblationVMP,
+		"a4":    bench.RunAblationMyrinet,
+		"a5":    bench.RunAblationHostGrid,
+		"a6":    bench.RunAblationGrape4,
+		"a7":    bench.RunAblationNeighbourScheme,
+		"v1":    bench.RunValidation,
+	}
+}
+
+// aliases are the DESIGN.md index names for the application experiments.
+var aliases = map[string]string{
+	"kuiper":   "t5ab",
+	"bhbinary": "t5ab",
+	"treecmp":  "t5c",
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
 func main() {
+	runners := builtinRunners()
+	expHelp := fmt.Sprintf(
+		"experiment id (%s), a scenario spec id (-list shows them), an alias (%s), \"scenarios\" for the whole spec matrix, or \"all\"",
+		strings.Join(sortedKeys(runners), ", "), strings.Join(sortedKeys(aliases), ", "))
+
 	var (
-		exp   = flag.String("exp", "all", "experiment id (t1, f13..f19, t5ab, t5c, cosim, a1..a5, all)")
-		quick = flag.Bool("quick", false, "reduced-fidelity fast mode")
-		seed  = flag.Uint64("seed", 20031115, "random seed for workload sampling")
+		exp     = flag.String("exp", "all", expHelp)
+		quick   = flag.Bool("quick", false, "reduced-fidelity fast mode")
+		seed    = flag.Uint64("seed", 20031115, "random seed for workload sampling")
+		scnDir  = flag.String("scenarios", "scenarios", "scenario spec directory")
+		baseDir = flag.String("baseline", "testdata/scenarios", "committed figure-baseline directory")
+		jsonOut = flag.Bool("json", false, "emit figure JSON instead of the text report")
+		doDiff  = flag.Bool("diff", false, "diff against the committed baseline (non-zero exit on findings)")
+		update  = flag.Bool("update", false, "regenerate the committed baseline from this run")
+		list    = flag.Bool("list", false, "list every known experiment id and exit")
 	)
 	flag.Parse()
 
@@ -32,55 +98,147 @@ func main() {
 	}
 	opts.Seed = *seed
 
-	runners := map[string]func() (bench.Experiment, error){
-		"t1":    func() (bench.Experiment, error) { return bench.RunT1(), nil },
-		"f13":   func() (bench.Experiment, error) { return bench.RunF13(opts) },
-		"f14":   func() (bench.Experiment, error) { return bench.RunF14(opts) },
-		"f15":   func() (bench.Experiment, error) { return bench.RunF15(opts) },
-		"f16":   func() (bench.Experiment, error) { return bench.RunF16(opts) },
-		"f17":   func() (bench.Experiment, error) { return bench.RunF17(opts) },
-		"f18":   func() (bench.Experiment, error) { return bench.RunF18(opts) },
-		"f19":   func() (bench.Experiment, error) { return bench.RunF19(opts) },
-		"t5ab":  func() (bench.Experiment, error) { return bench.RunApplications(opts) },
-		"t5c":   func() (bench.Experiment, error) { return bench.RunTreecode(opts) },
-		"cosim": func() (bench.Experiment, error) { return bench.RunCosim(opts) },
-		"a1":    func() (bench.Experiment, error) { return bench.RunAblationMantissa(opts) },
-		"a2":    func() (bench.Experiment, error) { return bench.RunAblationAccumulator(opts) },
-		"a3":    func() (bench.Experiment, error) { return bench.RunAblationVMP(opts) },
-		"a4":    func() (bench.Experiment, error) { return bench.RunAblationMyrinet(opts) },
-		"a5":    func() (bench.Experiment, error) { return bench.RunAblationHostGrid(opts) },
-		"a6":    func() (bench.Experiment, error) { return bench.RunAblationGrape4(opts) },
-		"a7":    func() (bench.Experiment, error) { return bench.RunAblationNeighbourScheme(opts) },
-		"v1":    func() (bench.Experiment, error) { return bench.RunValidation(opts) },
+	specs := loadSpecs(*scnDir)
+
+	if *list {
+		fmt.Printf("built-in: %s\n", strings.Join(sortedKeys(runners), " "))
+		fmt.Printf("scenario specs (%s): %s\n", *scnDir, strings.Join(sortedKeys(specs), " "))
+		fmt.Printf("aliases: %s\n", strings.Join(sortedKeys(aliases), " "))
+		fmt.Printf("meta: all scenarios\n")
+		return
 	}
 
-	// Aliases from DESIGN.md's index.
-	runners["kuiper"] = runners["t5ab"]
-	runners["bhbinary"] = runners["t5ab"]
-	runners["treecmp"] = runners["t5c"]
+	id := strings.ToLower(*exp)
+	if canon, ok := aliases[id]; ok {
+		id = canon
+	}
 
-	if *exp == "all" {
+	switch {
+	case id == "all":
+		requireNoScenarioFlags(*jsonOut, *doDiff, *update, "all")
 		es, err := bench.All(opts)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "grape6bench: %v\n", err)
-			os.Exit(1)
+			fatal("%v", err)
 		}
 		for _, e := range es {
 			e.Format(os.Stdout)
 		}
-		return
+	case id == "scenarios":
+		ids := sortedKeys(specs)
+		if len(ids) == 0 {
+			fatal("no scenario specs under %s", *scnDir)
+		}
+		failed := false
+		for _, sid := range ids {
+			if !runSpec(specs[sid], opts, *baseDir, *jsonOut, *doDiff, *update) {
+				failed = true
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	case specs[id] != nil:
+		// Spec-driven experiments shadow the hand-wired runner of the
+		// same id: Figs. 13-19 migrated to scenarios/.
+		if !runSpec(specs[id], opts, *baseDir, *jsonOut, *doDiff, *update) {
+			os.Exit(1)
+		}
+	default:
+		run, ok := runners[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "grape6bench: unknown experiment %q\n", *exp)
+			fmt.Fprintf(os.Stderr, "known: %s all scenarios (aliases: %s; specs under %s: %s)\n",
+				strings.Join(sortedKeys(runners), " "), strings.Join(sortedKeys(aliases), " "),
+				*scnDir, strings.Join(sortedKeys(specs), " "))
+			os.Exit(2)
+		}
+		requireNoScenarioFlags(false, *doDiff, *update, id)
+		e, err := run(opts)
+		if err != nil {
+			fatal("%v", err)
+		}
+		if *jsonOut {
+			if err := scenario.FromExperiment(e, opts).Write(os.Stdout); err != nil {
+				fatal("%v", err)
+			}
+			return
+		}
+		e.Format(os.Stdout)
 	}
+}
 
-	run, ok := runners[strings.ToLower(*exp)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "grape6bench: unknown experiment %q\n", *exp)
-		fmt.Fprintf(os.Stderr, "known: t1 f13 f14 f15 f16 f17 f18 f19 t5ab t5c cosim a1 a2 a3 a4 a5 a6 a7 v1 all\n")
-		os.Exit(2)
+// loadSpecs returns the scenario specs by id; a missing directory is an
+// empty matrix (the built-in runners still work without a checkout of
+// scenarios/).
+func loadSpecs(dir string) map[string]*scenario.Spec {
+	specs := make(map[string]*scenario.Spec)
+	if _, err := os.Stat(dir); err != nil {
+		return specs
 	}
-	e, err := run()
+	list, err := scenario.LoadDir(dir)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "grape6bench: %v\n", err)
-		os.Exit(1)
+		fatal("%v", err)
 	}
-	e.Format(os.Stdout)
+	for _, s := range list {
+		specs[s.ID] = s
+	}
+	return specs
+}
+
+// runSpec executes one spec and applies the requested output/baseline
+// actions. It returns false when a diff found problems.
+func runSpec(s *scenario.Spec, opts *bench.Options, baseDir string, jsonOut, doDiff, update bool) bool {
+	fig, err := scenario.Run(s, opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	if update {
+		if err := scenario.WriteBaseline(baseDir, fig); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("%s: baseline written to %s\n", s.ID, scenario.BaselinePath(baseDir, fig.ID, fig.Fidelity))
+	}
+	ok := true
+	if doDiff {
+		base, err := scenario.LoadBaseline(baseDir, s.ID, fig.Fidelity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "grape6bench: %v\n", err)
+			ok = false
+		} else if ps := scenario.Diff(fig, base, s); len(ps) > 0 {
+			fmt.Fprint(os.Stderr, scenario.FormatProblems(s.ID, ps))
+			ok = false
+		} else {
+			points := 0
+			for _, fs := range fig.Series {
+				points += len(fs.Points)
+			}
+			fmt.Printf("%s: ok (%d series, %d points within tolerance)\n", s.ID, len(fig.Series), points)
+		}
+	}
+	if jsonOut {
+		if err := fig.Write(os.Stdout); err != nil {
+			fatal("%v", err)
+		}
+	} else if !doDiff && !update {
+		e := fig.ToExperiment()
+		e.Paper = s.Paper
+		e.Format(os.Stdout)
+	}
+	return ok
+}
+
+// requireNoScenarioFlags rejects baseline actions on targets that have
+// no spec (and -json on "all", which emits many figures).
+func requireNoScenarioFlags(jsonOut, doDiff, update bool, id string) {
+	if jsonOut {
+		fatal("-json is not supported with -exp %s", id)
+	}
+	if doDiff || update {
+		fatal("-diff/-update need a scenario spec for %q (none found; see -list)", id)
+	}
+}
+
+func fatal(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "grape6bench: "+format+"\n", args...)
+	os.Exit(1)
 }

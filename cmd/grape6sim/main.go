@@ -23,11 +23,10 @@ import (
 	"grape6/internal/core"
 	"grape6/internal/diag"
 	"grape6/internal/hermite"
-	"grape6/internal/model"
 	"grape6/internal/nbody"
 	"grape6/internal/parallel"
 	"grape6/internal/perfmodel"
-	"grape6/internal/simnet"
+	"grape6/internal/scenario"
 	"grape6/internal/timing"
 	"grape6/internal/units"
 	"grape6/internal/xrand"
@@ -149,7 +148,11 @@ func main() {
 		if err != nil {
 			fatal("restore: %v", err)
 		}
-		fmt.Printf("restored N=%d at t=%.6g\n", sim.System().N, sim.Time())
+		// The checkpoint header carries the softening; the conservation
+		// diagnostics below must use it, not the zero value of a fresh
+		// local (a restored run once reported eps=0 energies here).
+		eps = sim.Eps()
+		fmt.Printf("restored N=%d at t=%.6g eps=%.6g\n", sim.System().N, sim.Time(), eps)
 	} else {
 		sys := buildSystem(*modelName, *n, *kingW0, *seed)
 		eps = units.Softening(kind, sys.N)
@@ -205,28 +208,15 @@ func main() {
 	}
 }
 
-// buildSystem samples the requested initial model.
+// buildSystem samples the requested initial model via the shared
+// scenario table, so the CLI and the scenario specs accept the same
+// model names.
 func buildSystem(name string, n int, w0 float64, seed uint64) *nbody.System {
-	rng := xrand.New(seed)
-	switch name {
-	case "plummer":
-		return model.Plummer(n, rng)
-	case "king":
-		sys, err := model.King(n, w0, rng)
-		if err != nil {
-			fatal("%v", err)
-		}
-		return sys
-	case "disk":
-		return model.Disk(model.DefaultKuiperDisk(n), rng)
-	case "bhbinary":
-		return model.PlummerWithBlackHoles(n, 0.005, 0.3, rng)
-	case "coldsphere":
-		return model.ColdSphere(n, 1.5, rng)
-	default:
-		fatal("unknown model %q", name)
-		return nil
+	sys, err := scenario.BuildModel(name, n, w0, xrand.New(seed))
+	if err != nil {
+		fatal("%v", err)
 	}
+	return sys
 }
 
 type cosimOpts struct {
@@ -249,27 +239,11 @@ type cosimOpts struct {
 	traceOut  string
 }
 
-func cosimNIC(name string) (simnet.NIC, bool) {
-	switch name {
-	case "ns83820":
-		return simnet.NS83820, true
-	case "tigon2":
-		return simnet.Tigon2, true
-	case "intel82540em":
-		return simnet.Intel82540EM, true
-	case "myrinet":
-		return simnet.Myrinet, true
-	case "bypass":
-		return simnet.KernelBypass, true
-	}
-	return simnet.NIC{}, false
-}
-
 // runCosim executes one multi-node co-simulation and reports virtual-time
 // performance, optionally with the per-phase breakdown and a Chrome
 // trace-event export.
 func runCosim(o cosimOpts) {
-	nic, ok := cosimNIC(o.nicName)
+	nic, ok := scenario.LookupNIC(o.nicName)
 	if !ok {
 		fatal("unknown NIC %q", o.nicName)
 	}

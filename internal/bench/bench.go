@@ -89,6 +89,12 @@ func (o *Options) curveNs() []int {
 	}
 }
 
+// CurveNs returns the default N grid for model-driven curves at this
+// fidelity — the grid scenario specs inherit when they name none.
+func (o *Options) CurveNs() []int {
+	return append([]int(nil), o.curveNs()...)
+}
+
 // Workload returns (building and caching on first use) the fitted block
 // statistics for a softening choice.
 func (o *Options) Workload(kind units.SofteningKind) (*sched.Workload, error) {

@@ -115,6 +115,12 @@ func (s *Simulator) System() *nbody.System { return s.sys }
 // Time returns the current system time.
 func (s *Simulator) Time() float64 { return s.it.T }
 
+// Eps returns the softening length in effect — for a restored run, the
+// value recovered from the checkpoint header. Diagnostics (energy,
+// virial) must use this, not the Config literal a caller happened to
+// pass.
+func (s *Simulator) Eps() float64 { return s.cfg.Eps }
+
 // Steps returns the number of individual particle steps taken.
 func (s *Simulator) Steps() int64 { return s.it.Steps }
 

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"grape6/internal/board"
+	"grape6/internal/diag"
 	"grape6/internal/hermite"
 	"grape6/internal/model"
 	"grape6/internal/xrand"
@@ -190,5 +191,48 @@ func TestHardwareStats(t *testing.T) {
 	}
 	if sim2.HardwareStats() != (HardwareStats{}) {
 		t.Error("direct backend reported hardware stats")
+	}
+}
+
+// TestRestoreEpsDiagnostics pins the restore-path softening contract:
+// the restored simulator exposes the checkpoint header's eps, and
+// conservation diagnostics computed with it match the fresh run's at
+// the checkpoint time exactly. The grape6sim CLI once recomputed its
+// post-restore diagnostics with a zero local eps — the third check
+// shows that mistake is observable (the softened potential differs),
+// so any regression fails loudly.
+func TestRestoreEpsDiagnostics(t *testing.T) {
+	const eps = 1.0 / 64
+	sys := model.Plummer(64, xrand.New(9))
+	sim, err := NewSimulator(sys, Config{Backend: Direct, Eps: eps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(0.125)
+
+	var buf bytes.Buffer
+	if err := sim.Checkpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(&buf, Config{Backend: Direct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Eps() != eps {
+		t.Fatalf("restored eps = %v, want %v", restored.Eps(), eps)
+	}
+
+	fresh := diag.Measure(sim.Synchronized(), sim.Eps())
+	again := diag.Measure(restored.Synchronized(), restored.Eps())
+	if fresh.Total() != again.Total() || fresh.Virial != again.Virial {
+		t.Errorf("restored diagnostics diverge: fresh E=%v virial=%v, restored E=%v virial=%v",
+			fresh.Total(), fresh.Virial, again.Total(), again.Virial)
+	}
+
+	// The pre-fix failure mode: measuring with eps=0 instead of the
+	// header value visibly changes the energy.
+	bad := diag.Measure(restored.Synchronized(), 0)
+	if bad.Total() == again.Total() {
+		t.Error("eps=0 diagnostics indistinguishable from the softened ones; regression test has no teeth")
 	}
 }

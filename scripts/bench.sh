@@ -1,38 +1,45 @@
 #!/bin/sh
-# bench.sh — run the steady-state perf benchmarks and record them in
-# BENCH_pr9.json so future PRs can track the trajectory.
+# bench.sh — run the steady-state perf benchmarks and record them in a
+# BENCH_pr<k>.json trajectory file.
 #
 # Usage: scripts/bench.sh [out.json]
 #
+# With no argument the output name is derived from the committed
+# trajectory: one past the highest BENCH_pr<k>.json present, so a new
+# PR's run never silently clobbers its predecessor's file. CI (or a
+# builder who knows the PR number) can pass the name explicitly.
+#
 # The tracked set covers the block-step hot path (predictor variants,
 # small-block steps, raw chip throughput), the block-timestep scheduler
-# against its retired O(N) scan baseline at N = 64k and N = 1M (the
-# PR-7 ≥10× overhead acceptance number), the streamed j-memory force
-# path and the Ahmad-Cohen steady state, the Fig. 13 headline run whose
-# model Gflops double as a regression canary for the cycle model, the
-# cache-blocked force kernel (full-depth chip and array passes plus the
-# j-tile-length sweep validating the Fig. 14 cache-model tile derivation),
-# the multi-node virtual-time sweeps (ring at 2-16 hosts per NIC, hybrid
-# at 1-4 clusters) whose per-phase breakdown totals track the
-# co-simulation's communication accounting, the raw DES engine throughput
-# (events/s on the handler and process paths, pinned allocation-free),
-# and the full-machine co-simulation (256 ranks emulating 64 boards × 32
-# chips) whose ns/op is the wall-clock the engine rework targets.
+# against its retired O(N) scan baseline at N = 64k and N = 1M, the
+# streamed j-memory force path and the Ahmad-Cohen steady state, the
+# Fig. 13 headline run whose model Gflops double as a regression canary
+# for the cycle model, the cache-blocked force kernel (full-depth chip
+# and array passes plus the j-tile-length sweep validating the Fig. 14
+# cache-model tile derivation), the multi-node virtual-time sweeps (ring
+# at 2-16 hosts per NIC, hybrid at 1-4 clusters) whose per-phase
+# breakdown totals track the co-simulation's communication accounting,
+# the raw DES engine throughput (events/s on the handler and process
+# paths, pinned allocation-free), the full-machine co-simulation (256
+# ranks emulating 64 boards × 32 chips) whose ns/op is the tracked
+# wall-clock, and the multi-tenant scheduler (the allocation-free
+# submit→coalesce→dispatch round trip plus the 1/2/4/8-session tenancy
+# sweep, whose psteps/s, batch-fill and fleet-idle metrics track how
+# well cross-session coalescing keeps the shared pipelines full).
 # A GOMAXPROCS sweep (via -cpu 1,2,4,8) over the array force kernel and
 # the block-step benches records how the worker pool and the predict-
-# ahead overlap scale with host cores. BenchmarkArrayDispatch tracks the
-# pool's per-evaluation synchronization cost (the PR-8 fused
-# predict+force dispatch: one channel handoff per worker per evaluation
-# instead of two, with an in-pool parking barrier between the stages).
-# The PR-9 multi-tenant scheduler adds BenchmarkSchedulerDispatch (the
-# submit→coalesce→dispatch round trip, pinned allocation-free) and the
-# BenchmarkTenancySweep at 1/2/4/8 concurrent sessions, whose psteps/s,
-# batch-fill and fleet-idle metrics track how well cross-session
-# coalescing and phase overlap keep the shared pipelines full.
+# ahead overlap scale with host cores; BenchmarkArrayDispatch tracks the
+# pool's per-evaluation synchronization cost.
 set -eu
 cd "$(dirname "$0")/.."
 
-out="${1:-BENCH_pr9.json}"
+if [ $# -ge 1 ]; then
+	out="$1"
+else
+	last=$(ls BENCH_pr*.json 2>/dev/null |
+		sed -n 's/^BENCH_pr\([0-9][0-9]*\)\.json$/\1/p' | sort -n | tail -1)
+	out="BENCH_pr$((${last:-0} + 1)).json"
+fi
 tmp="$(mktemp)"
 objs="$(mktemp)"
 trap 'rm -f "$tmp" "$objs"' EXIT
